@@ -1,0 +1,27 @@
+// bench_ablation_copkmeans: the paper's future-work question — does CVCP
+// transfer to other semi-supervised clusterers? Runs the full Table-9-style
+// experiment with COP-KMeans (hard constraints, Wagstaff et al. 2001) in
+// place of MPCKMeans.
+
+#include <cstdio>
+
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options,
+              "Ablation: CVCP with COP-KMeans (hard constraints)",
+              "paper §5 future work");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(
+      ctx, BenchAlgo::kCop, Scenario::kLabels, 0.10,
+      "COP-KMeans (label scenario) — average performance, 10% labeled "
+      "objects (compare against Table 9's MPCKMeans row shapes)");
+  RunCorrelationTable(
+      ctx, BenchAlgo::kCop, Scenario::kLabels, {0.10},
+      "COP-KMeans — correlation of internal scores with Overall F-Measure "
+      "at 10% labels");
+  return 0;
+}

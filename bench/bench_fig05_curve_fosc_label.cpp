@@ -1,0 +1,13 @@
+// bench_fig05_curve_fosc_label: reproduces Figure 5 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Figure 5: FOSC-OPTICSDend (label scenario) — internal vs external curves, representative ALOI set, 10% labels", "Figure 5");
+  PaperBenchContext ctx = MakeContext(options);
+  RunCurveFigure(ctx, BenchAlgo::kFosc, Scenario::kLabels, 0.1,
+                 "Figure 5: FOSC-OPTICSDend (label scenario) — internal vs external curves, representative ALOI set, 10% labels");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// bench_fig06_curve_mpck_label: reproduces Figure 6 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Figure 6: MPCKmeans (label scenario) — internal vs external curves, representative ALOI set, 10% labels", "Figure 6");
+  PaperBenchContext ctx = MakeContext(options);
+  RunCurveFigure(ctx, BenchAlgo::kMpck, Scenario::kLabels, 0.1,
+                 "Figure 6: MPCKmeans (label scenario) — internal vs external curves, representative ALOI set, 10% labels");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// bench_fig07_curve_fosc_constraint: reproduces Figure 7 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Figure 7: FOSC-OPTICSDend (constraint scenario) — internal vs external curves, representative ALOI set, 10% of pool", "Figure 7");
+  PaperBenchContext ctx = MakeContext(options);
+  RunCurveFigure(ctx, BenchAlgo::kFosc, Scenario::kConstraints, 0.1,
+                 "Figure 7: FOSC-OPTICSDend (constraint scenario) — internal vs external curves, representative ALOI set, 10% of pool");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// bench_fig08_curve_mpck_constraint: reproduces Figure 8 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Figure 8: MPCKmeans (constraint scenario) — internal vs external curves, representative ALOI set, 10% of pool", "Figure 8");
+  PaperBenchContext ctx = MakeContext(options);
+  RunCurveFigure(ctx, BenchAlgo::kMpck, Scenario::kConstraints, 0.1,
+                 "Figure 8: MPCKmeans (constraint scenario) — internal vs external curves, representative ALOI set, 10% of pool");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// bench_fig09_box_fosc_label: reproduces Figure 9 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Figure 9: FOSC-OPTICSDend (label scenario) — ALOI quality distributions, CVCP vs Expected", "Figure 9");
+  PaperBenchContext ctx = MakeContext(options);
+  RunBoxplotFigure(ctx, BenchAlgo::kFosc, Scenario::kLabels,
+                   {0.05, 0.10, 0.20},
+                   "Figure 9: FOSC-OPTICSDend (label scenario) — ALOI quality distributions, CVCP vs Expected");
+  return 0;
+}

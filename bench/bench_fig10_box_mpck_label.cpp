@@ -1,0 +1,14 @@
+// bench_fig10_box_mpck_label: reproduces Figure 10 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Figure 10: MPCKmeans (label scenario) — ALOI quality distributions, CVCP vs Expected vs Silhouette", "Figure 10");
+  PaperBenchContext ctx = MakeContext(options);
+  RunBoxplotFigure(ctx, BenchAlgo::kMpck, Scenario::kLabels,
+                   {0.05, 0.10, 0.20},
+                   "Figure 10: MPCKmeans (label scenario) — ALOI quality distributions, CVCP vs Expected vs Silhouette");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// bench_fig11_box_fosc_constraint: reproduces Figure 11 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Figure 11: FOSC-OPTICSDend (constraint scenario) — ALOI quality distributions, CVCP vs Expected", "Figure 11");
+  PaperBenchContext ctx = MakeContext(options);
+  RunBoxplotFigure(ctx, BenchAlgo::kFosc, Scenario::kConstraints,
+                   {0.10, 0.20, 0.50},
+                   "Figure 11: FOSC-OPTICSDend (constraint scenario) — ALOI quality distributions, CVCP vs Expected");
+  return 0;
+}

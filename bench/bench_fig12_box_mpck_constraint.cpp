@@ -1,0 +1,14 @@
+// bench_fig12_box_mpck_constraint: reproduces Figure 12 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Figure 12: MPCKmeans (constraint scenario) — ALOI quality distributions, CVCP vs Expected vs Silhouette", "Figure 12");
+  PaperBenchContext ctx = MakeContext(options);
+  RunBoxplotFigure(ctx, BenchAlgo::kMpck, Scenario::kConstraints,
+                   {0.10, 0.20, 0.50},
+                   "Figure 12: MPCKmeans (constraint scenario) — ALOI quality distributions, CVCP vs Expected vs Silhouette");
+  return 0;
+}

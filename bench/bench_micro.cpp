@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) for the core primitives: constraint
+// closure, fold splitting, OPTICS, k-means, MPCKMeans iterations, FOSC
+// extraction and the constraint F-measure. These track the cost model
+// behind the paper-scale benches.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/dendrogram.h"
+#include "cluster/fosc.h"
+#include "cluster/kmeans.h"
+#include "cluster/mpckmeans.h"
+#include "cluster/optics.h"
+#include "common/rng.h"
+#include "constraints/folds.h"
+#include "constraints/oracle.h"
+#include "constraints/transitive_closure.h"
+#include "core/fmeasure.h"
+#include "data/generators.h"
+
+namespace {
+
+using namespace cvcp;  // NOLINT
+
+Dataset BenchData(size_t per_cluster, int k, size_t dims) {
+  Rng rng(7);
+  return MakeBlobs("bench", k, per_cluster, dims, 10.0, 1.0, &rng);
+}
+
+ConstraintSet BenchConstraints(const Dataset& data, double frac) {
+  Rng rng(11);
+  auto pool = BuildConstraintPool(data, frac, &rng);
+  CVCP_CHECK(pool.ok());
+  return std::move(pool).value();
+}
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  Dataset data = BenchData(static_cast<size_t>(state.range(0)), 5, 8);
+  ConstraintSet constraints = BenchConstraints(data, 0.2);
+  for (auto _ : state) {
+    auto closure = TransitiveClosure(constraints);
+    benchmark::DoNotOptimize(closure);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(constraints.size()));
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_ConstraintFolds(benchmark::State& state) {
+  Dataset data = BenchData(static_cast<size_t>(state.range(0)), 5, 8);
+  ConstraintSet constraints = BenchConstraints(data, 0.2);
+  Rng rng(13);
+  FoldConfig config;
+  config.n_folds = 5;
+  for (auto _ : state) {
+    auto folds = MakeConstraintFolds(constraints, config, &rng);
+    benchmark::DoNotOptimize(folds);
+  }
+}
+BENCHMARK(BM_ConstraintFolds)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_Optics(benchmark::State& state) {
+  Dataset data = BenchData(static_cast<size_t>(state.range(0)), 5, 16);
+  OpticsConfig config;
+  config.min_pts = 5;
+  for (auto _ : state) {
+    auto result = RunOptics(data.points(), config);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Optics)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_DendrogramAndFosc(benchmark::State& state) {
+  Dataset data = BenchData(static_cast<size_t>(state.range(0)), 5, 16);
+  OpticsConfig config;
+  config.min_pts = 5;
+  auto optics = RunOptics(data.points(), config);
+  CVCP_CHECK(optics.ok());
+  ConstraintSet constraints = BenchConstraints(data, 0.2);
+  for (auto _ : state) {
+    Dendrogram dg = Dendrogram::FromReachability(optics.value());
+    auto fosc = ExtractClusters(dg, constraints, FoscConfig{});
+    benchmark::DoNotOptimize(fosc);
+  }
+}
+BENCHMARK(BM_DendrogramAndFosc)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_KMeans(benchmark::State& state) {
+  Dataset data = BenchData(static_cast<size_t>(state.range(0)), 5, 16);
+  KMeansConfig config;
+  config.k = 5;
+  config.n_init = 1;
+  Rng rng(17);
+  for (auto _ : state) {
+    auto result = RunKMeans(data.points(), config, &rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_MpckMeans(benchmark::State& state) {
+  Dataset data = BenchData(static_cast<size_t>(state.range(0)), 5, 16);
+  ConstraintSet constraints = BenchConstraints(data, 0.2);
+  MpckMeansConfig config;
+  config.k = 5;
+  Rng rng(19);
+  for (auto _ : state) {
+    auto result = RunMpckMeans(data.points(), constraints, config, &rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MpckMeans)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_ConstraintFMeasure(benchmark::State& state) {
+  Dataset data = BenchData(static_cast<size_t>(state.range(0)), 5, 8);
+  ConstraintSet constraints = BenchConstraints(data, 0.3);
+  Clustering clustering(data.labels());
+  for (auto _ : state) {
+    auto fm = EvaluateConstraintClassification(clustering, constraints);
+    benchmark::DoNotOptimize(fm);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(constraints.size()));
+}
+BENCHMARK(BM_ConstraintFMeasure)->Arg(25)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,14 @@
+// bench_table01_corr_fosc_label: reproduces Table 1 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 1: FOSC-OPTICSDend (label scenario) — correlation of internal scores with Overall F-Measure", "Table 1");
+  PaperBenchContext ctx = MakeContext(options);
+  RunCorrelationTable(ctx, BenchAlgo::kFosc, Scenario::kLabels,
+                      {0.05, 0.10, 0.20},
+                      "Table 1: FOSC-OPTICSDend (label scenario) — correlation of internal scores with Overall F-Measure");
+  return 0;
+}

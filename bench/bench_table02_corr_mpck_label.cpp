@@ -1,0 +1,14 @@
+// bench_table02_corr_mpck_label: reproduces Table 2 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 2: MPCKMeans (label scenario) — correlation of internal scores with Overall F-Measure", "Table 2");
+  PaperBenchContext ctx = MakeContext(options);
+  RunCorrelationTable(ctx, BenchAlgo::kMpck, Scenario::kLabels,
+                      {0.05, 0.10, 0.20},
+                      "Table 2: MPCKMeans (label scenario) — correlation of internal scores with Overall F-Measure");
+  return 0;
+}

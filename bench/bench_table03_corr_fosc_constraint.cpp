@@ -1,0 +1,14 @@
+// bench_table03_corr_fosc_constraint: reproduces Table 3 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 3: FOSC-OPTICSDend (constraint scenario) — correlation of internal scores with Overall F-Measure", "Table 3");
+  PaperBenchContext ctx = MakeContext(options);
+  RunCorrelationTable(ctx, BenchAlgo::kFosc, Scenario::kConstraints,
+                      {0.10, 0.20, 0.50},
+                      "Table 3: FOSC-OPTICSDend (constraint scenario) — correlation of internal scores with Overall F-Measure");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// bench_table04_corr_mpck_constraint: reproduces Table 4 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 4: MPCKMeans (constraint scenario) — correlation of internal scores with Overall F-Measure", "Table 4");
+  PaperBenchContext ctx = MakeContext(options);
+  RunCorrelationTable(ctx, BenchAlgo::kMpck, Scenario::kConstraints,
+                      {0.10, 0.20, 0.50},
+                      "Table 4: MPCKMeans (constraint scenario) — correlation of internal scores with Overall F-Measure");
+  return 0;
+}

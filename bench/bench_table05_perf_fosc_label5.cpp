@@ -1,0 +1,13 @@
+// bench_table05_perf_fosc_label5: reproduces Table 5 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 5: FOSC-OPTICSDend (label scenario) — average performance, 5% labeled objects", "Table 5");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kFosc, Scenario::kLabels, 0.05,
+                      "Table 5: FOSC-OPTICSDend (label scenario) — average performance, 5% labeled objects");
+  return 0;
+}

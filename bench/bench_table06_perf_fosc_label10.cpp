@@ -1,0 +1,13 @@
+// bench_table06_perf_fosc_label10: reproduces Table 6 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 6: FOSC-OPTICSDend (label scenario) — average performance, 10% labeled objects", "Table 6");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kFosc, Scenario::kLabels, 0.1,
+                      "Table 6: FOSC-OPTICSDend (label scenario) — average performance, 10% labeled objects");
+  return 0;
+}

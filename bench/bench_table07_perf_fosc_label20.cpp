@@ -1,0 +1,13 @@
+// bench_table07_perf_fosc_label20: reproduces Table 7 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 7: FOSC-OPTICSDend (label scenario) — average performance, 20% labeled objects", "Table 7");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kFosc, Scenario::kLabels, 0.2,
+                      "Table 7: FOSC-OPTICSDend (label scenario) — average performance, 20% labeled objects");
+  return 0;
+}

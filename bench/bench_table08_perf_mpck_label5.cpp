@@ -1,0 +1,13 @@
+// bench_table08_perf_mpck_label5: reproduces Table 8 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 8: MPCKmeans (label scenario) — average performance, 5% labeled objects", "Table 8");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kMpck, Scenario::kLabels, 0.05,
+                      "Table 8: MPCKmeans (label scenario) — average performance, 5% labeled objects");
+  return 0;
+}

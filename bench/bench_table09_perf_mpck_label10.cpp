@@ -1,0 +1,13 @@
+// bench_table09_perf_mpck_label10: reproduces Table 9 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 9: MPCKmeans (label scenario) — average performance, 10% labeled objects", "Table 9");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kMpck, Scenario::kLabels, 0.1,
+                      "Table 9: MPCKmeans (label scenario) — average performance, 10% labeled objects");
+  return 0;
+}

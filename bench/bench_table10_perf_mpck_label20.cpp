@@ -1,0 +1,13 @@
+// bench_table10_perf_mpck_label20: reproduces Table 10 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 10: MPCKmeans (label scenario) — average performance, 20% labeled objects", "Table 10");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kMpck, Scenario::kLabels, 0.2,
+                      "Table 10: MPCKmeans (label scenario) — average performance, 20% labeled objects");
+  return 0;
+}

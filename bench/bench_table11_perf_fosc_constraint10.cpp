@@ -1,0 +1,13 @@
+// bench_table11_perf_fosc_constraint10: reproduces Table 11 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 11: FOSC-OPTICSDend (constraint scenario) — average performance, 10% of constraint pool", "Table 11");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kFosc, Scenario::kConstraints, 0.1,
+                      "Table 11: FOSC-OPTICSDend (constraint scenario) — average performance, 10% of constraint pool");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// bench_table12_perf_fosc_constraint20: reproduces Table 12 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 12: FOSC-OPTICSDend (constraint scenario) — average performance, 20% of constraint pool", "Table 12");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kFosc, Scenario::kConstraints, 0.2,
+                      "Table 12: FOSC-OPTICSDend (constraint scenario) — average performance, 20% of constraint pool");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// bench_table13_perf_fosc_constraint50: reproduces Table 13 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 13: FOSC-OPTICSDend (constraint scenario) — average performance, 50% of constraint pool", "Table 13");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kFosc, Scenario::kConstraints, 0.5,
+                      "Table 13: FOSC-OPTICSDend (constraint scenario) — average performance, 50% of constraint pool");
+  return 0;
+}

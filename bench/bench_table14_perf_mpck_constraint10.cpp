@@ -1,0 +1,13 @@
+// bench_table14_perf_mpck_constraint10: reproduces Table 14 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 14: MPCKmeans (constraint scenario) — average performance, 10% of constraint pool", "Table 14");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kMpck, Scenario::kConstraints, 0.1,
+                      "Table 14: MPCKmeans (constraint scenario) — average performance, 10% of constraint pool");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// bench_table15_perf_mpck_constraint20: reproduces Table 15 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 15: MPCKmeans (constraint scenario) — average performance, 20% of constraint pool", "Table 15");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kMpck, Scenario::kConstraints, 0.2,
+                      "Table 15: MPCKmeans (constraint scenario) — average performance, 20% of constraint pool");
+  return 0;
+}

@@ -1,0 +1,13 @@
+// bench_table16_perf_mpck_constraint50: reproduces Table 16 of the paper.
+#include "harness/options.h"
+#include "harness/paper_bench.h"
+
+int main(int argc, char** argv) {
+  using namespace cvcp::bench;
+  const BenchOptions options = ParseBenchOptions(argc, argv);
+  PrintBanner(options, "Table 16: MPCKmeans (constraint scenario) — average performance, 50% of constraint pool", "Table 16");
+  PaperBenchContext ctx = MakeContext(options);
+  RunPerformanceTable(ctx, BenchAlgo::kMpck, Scenario::kConstraints, 0.5,
+                      "Table 16: MPCKmeans (constraint scenario) — average performance, 50% of constraint pool");
+  return 0;
+}

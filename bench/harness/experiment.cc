@@ -1,0 +1,246 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/silhouette.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "constraints/oracle.h"
+#include "core/selectors.h"
+#include "eval/external_measures.h"
+
+namespace cvcp::bench {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Pearson correlation over positions where both series are defined.
+double NanAwareCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  std::vector<double> xs, ys;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (!std::isnan(x[i]) && !std::isnan(y[i])) {
+      xs.push_back(x[i]);
+      ys.push_back(y[i]);
+    }
+  }
+  if (xs.size() < 2) return kNaN;
+  return PearsonCorrelation(xs, ys);
+}
+
+double NanAwareMean(const std::vector<double>& v) {
+  double sum = 0.0;
+  size_t n = 0;
+  for (double x : v) {
+    if (!std::isnan(x)) {
+      sum += x;
+      ++n;
+    }
+  }
+  return n > 0 ? sum / static_cast<double>(n) : kNaN;
+}
+
+}  // namespace
+
+TrialResult RunTrial(const Dataset& data,
+                     const SemiSupervisedClusterer& clusterer,
+                     const TrialSpec& spec, uint64_t trial_seed) {
+  TrialResult out;
+  Rng rng(trial_seed);
+
+  // 1. Sample this trial's supervision.
+  Supervision supervision = Supervision::FromConstraints(ConstraintSet{});
+  Rng oracle_rng = rng.Fork(1);
+  if (spec.scenario == Scenario::kLabels) {
+    auto labeled = SampleLabeledObjects(data, spec.level, &oracle_rng);
+    if (!labeled.ok()) {
+      out.error = labeled.status().ToString();
+      return out;
+    }
+    supervision = Supervision::FromLabels(data, std::move(labeled).value());
+  } else {
+    auto pool = BuildConstraintPool(data, spec.pool_fraction, &oracle_rng);
+    if (!pool.ok()) {
+      out.error = pool.status().ToString();
+      return out;
+    }
+    auto sampled = SampleConstraints(pool.value(), spec.level, &oracle_rng);
+    if (!sampled.ok()) {
+      out.error = sampled.status().ToString();
+      return out;
+    }
+    supervision = Supervision::FromConstraints(std::move(sampled).value());
+  }
+
+  // 2. CVCP internal scores over the grid.
+  CvcpConfig config;
+  config.cv.n_folds = spec.n_folds;
+  config.param_grid = spec.grid;
+  Rng cvcp_rng = rng.Fork(2);
+  auto report = RunCvcp(data, supervision, clusterer, config, &cvcp_rng);
+  if (!report.ok()) {
+    out.error = report.status().ToString();
+    return out;
+  }
+  out.internal_scores.reserve(spec.grid.size());
+  for (const CvcpParamScore& s : report->scores) {
+    out.internal_scores.push_back(s.score);
+  }
+  out.cvcp_param = report->best_param;
+
+  // 3. Full-supervision clustering at every grid value; external Overall F
+  //    on the non-involved objects; silhouette if requested. All selectors
+  //    are evaluated on these same candidate clusterings.
+  const std::vector<bool> exclude = supervision.InvolvementMask(data.size());
+  Rng sweep_rng = rng.Fork(3);
+  out.external_scores.assign(spec.grid.size(), kNaN);
+  out.silhouettes.assign(spec.grid.size(), kNaN);
+  for (size_t gi = 0; gi < spec.grid.size(); ++gi) {
+    Rng run_rng = sweep_rng.Fork(gi);
+    auto clustering =
+        clusterer.Cluster(data, supervision, spec.grid[gi], &run_rng);
+    if (!clustering.ok()) {
+      out.error = clustering.status().ToString();
+      return out;
+    }
+    out.external_scores[gi] =
+        OverallFMeasure(data.labels(), clustering.value(), &exclude);
+    if (spec.with_silhouette) {
+      out.silhouettes[gi] =
+          SilhouetteCoefficient(data.points(), clustering.value());
+    }
+  }
+
+  // 4. Derived quantities.
+  out.correlation =
+      NanAwareCorrelation(out.internal_scores, out.external_scores);
+  out.expected_external = ExpectedQuality(out.external_scores);
+  for (size_t gi = 0; gi < spec.grid.size(); ++gi) {
+    if (spec.grid[gi] == out.cvcp_param) {
+      out.cvcp_external = out.external_scores[gi];
+      break;
+    }
+  }
+  if (spec.with_silhouette) {
+    const int sil_idx = OracleIndex(out.silhouettes);
+    if (sil_idx >= 0) {
+      out.silhouette_param = spec.grid[static_cast<size_t>(sil_idx)];
+      out.silhouette_external =
+          out.external_scores[static_cast<size_t>(sil_idx)];
+    } else {
+      out.silhouette_external = kNaN;
+    }
+  } else {
+    out.silhouette_external = kNaN;
+  }
+  out.ok = true;
+  return out;
+}
+
+CellAggregate RunExperiment(const Dataset& data,
+                            const SemiSupervisedClusterer& clusterer,
+                            const TrialSpec& spec, int trials, uint64_t seed) {
+  CellAggregate agg;
+  Rng master(seed);
+  for (int t = 0; t < trials; ++t) {
+    const TrialResult trial =
+        RunTrial(data, clusterer, spec, master.Fork(static_cast<uint64_t>(t)).seed());
+    if (!trial.ok) continue;
+    ++agg.trials_ok;
+    agg.cvcp_values.push_back(trial.cvcp_external);
+    agg.exp_values.push_back(trial.expected_external);
+    agg.sil_values.push_back(trial.silhouette_external);
+    agg.correlations.push_back(trial.correlation);
+  }
+  agg.corr_mean = NanAwareMean(agg.correlations);
+  agg.cvcp_mean = Mean(agg.cvcp_values);
+  agg.cvcp_std = SampleStdDev(agg.cvcp_values);
+  agg.exp_mean = Mean(agg.exp_values);
+  agg.exp_std = SampleStdDev(agg.exp_values);
+  agg.sil_mean = NanAwareMean(agg.sil_values);
+  // Std over defined silhouette values only.
+  {
+    std::vector<double> defined;
+    for (double v : agg.sil_values) {
+      if (!std::isnan(v)) defined.push_back(v);
+    }
+    agg.sil_std = SampleStdDev(defined);
+  }
+  if (agg.cvcp_values.size() >= 2) {
+    agg.cvcp_vs_exp = PairedTTest(agg.cvcp_values, agg.exp_values);
+    if (spec.with_silhouette) {
+      std::vector<double> cv, sl;
+      for (size_t i = 0; i < agg.sil_values.size(); ++i) {
+        if (!std::isnan(agg.sil_values[i])) {
+          cv.push_back(agg.cvcp_values[i]);
+          sl.push_back(agg.sil_values[i]);
+        }
+      }
+      if (cv.size() >= 2) agg.cvcp_vs_sil = PairedTTest(cv, sl);
+    }
+  }
+  return agg;
+}
+
+AloiAggregate RunAloiExperiment(const std::vector<Dataset>& collection,
+                                const SemiSupervisedClusterer& clusterer,
+                                const TrialSpec& spec, int trials,
+                                uint64_t seed) {
+  AloiAggregate out;
+  Rng master(seed);
+  for (size_t d = 0; d < collection.size(); ++d) {
+    CellAggregate cell = RunExperiment(collection[d], clusterer, spec, trials,
+                                       master.Fork(d).seed());
+    if (cell.cvcp_values.size() >= 2) {
+      if (cell.cvcp_vs_exp.SignificantAt(0.05)) ++out.significant_vs_expected;
+      if (spec.with_silhouette && cell.cvcp_vs_sil.SignificantAt(0.05)) {
+        ++out.significant_vs_silhouette;
+      }
+    }
+    // Pool per-trial values for collection-level stats and boxplots.
+    auto& pooled = out.pooled;
+    pooled.trials_ok += cell.trials_ok;
+    pooled.cvcp_values.insert(pooled.cvcp_values.end(),
+                              cell.cvcp_values.begin(),
+                              cell.cvcp_values.end());
+    pooled.exp_values.insert(pooled.exp_values.end(), cell.exp_values.begin(),
+                             cell.exp_values.end());
+    pooled.sil_values.insert(pooled.sil_values.end(), cell.sil_values.begin(),
+                             cell.sil_values.end());
+    pooled.correlations.insert(pooled.correlations.end(),
+                               cell.correlations.begin(),
+                               cell.correlations.end());
+    out.per_dataset.push_back(std::move(cell));
+  }
+  auto& pooled = out.pooled;
+  pooled.corr_mean = NanAwareMean(pooled.correlations);
+  pooled.cvcp_mean = Mean(pooled.cvcp_values);
+  pooled.cvcp_std = SampleStdDev(pooled.cvcp_values);
+  pooled.exp_mean = Mean(pooled.exp_values);
+  pooled.exp_std = SampleStdDev(pooled.exp_values);
+  pooled.sil_mean = NanAwareMean(pooled.sil_values);
+  {
+    std::vector<double> defined;
+    for (double v : pooled.sil_values) {
+      if (!std::isnan(v)) defined.push_back(v);
+    }
+    pooled.sil_std = SampleStdDev(defined);
+  }
+  if (pooled.cvcp_values.size() >= 2) {
+    pooled.cvcp_vs_exp = PairedTTest(pooled.cvcp_values, pooled.exp_values);
+  }
+  return out;
+}
+
+std::string FormatMeanStd(double mean, double stddev) {
+  if (std::isnan(mean)) return "—";
+  return Format("%.4f ±%.4f", mean, stddev);
+}
+
+std::string SigMarker(const PairedTTestResult& test) {
+  return test.SignificantAt(0.05) ? "*" : "";
+}
+
+}  // namespace cvcp::bench

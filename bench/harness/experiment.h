@@ -1,0 +1,119 @@
+#ifndef CVCP_BENCH_HARNESS_EXPERIMENT_H_
+#define CVCP_BENCH_HARNESS_EXPERIMENT_H_
+
+/// \file
+/// The paper's experimental protocol (§4.1), shared by every table/figure
+/// bench. One *trial* =
+///   1. sample supervision from the ground truth (labels: x% of objects;
+///      constraints: a fraction of the 10%-per-class all-pairs pool);
+///   2. run CVCP over the parameter grid (internal CV F-measure per value);
+///   3. cluster with full supervision at *every* grid value; compute the
+///      external Overall F-Measure on the objects not involved in the
+///      supervision (and the Silhouette for centroid algorithms);
+///   4. derive: per-trial internal/external correlation, the external
+///      quality of the CVCP pick, the expected quality (grid mean), and
+///      the Silhouette pick's quality.
+/// Experiments aggregate trials (mean/std, paired t-tests at alpha=.05);
+/// ALOI experiments additionally aggregate over collection members and
+/// count per-dataset significance as the paper's captions do.
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/stats.h"
+#include "core/clusterer.h"
+#include "core/cvcp.h"
+
+namespace cvcp::bench {
+
+/// Which supervision scenario a trial uses.
+enum class Scenario {
+  kLabels,       ///< §4.2.1/§4.3.1: x% labeled objects
+  kConstraints,  ///< §4.2.2/§4.3.2: x% of the constraint pool
+};
+
+/// Static description of one experimental cell.
+struct TrialSpec {
+  Scenario scenario = Scenario::kLabels;
+  /// Label fraction (0.05/0.10/0.20) or constraint-pool fraction
+  /// (0.10/0.20/0.50).
+  double level = 0.10;
+  /// Per-class fraction used to build the constraint pool (paper: 0.10).
+  double pool_fraction = 0.10;
+  std::vector<int> grid;
+  int n_folds = 5;
+  /// Also select by silhouette (paper: MPCKMeans only).
+  bool with_silhouette = false;
+};
+
+/// Everything measured in one trial.
+struct TrialResult {
+  bool ok = false;
+  std::string error;  ///< set when !ok
+
+  std::vector<double> internal_scores;  ///< per grid value (CV F-measure)
+  std::vector<double> external_scores;  ///< per grid value (Overall F)
+  std::vector<double> silhouettes;      ///< per grid value (NaN if skipped)
+
+  double correlation = 0.0;  ///< Pearson(internal, external); NaN if flat
+  int cvcp_param = 0;
+  double cvcp_external = 0.0;
+  double expected_external = 0.0;
+  int silhouette_param = 0;
+  double silhouette_external = 0.0;  ///< NaN when not computed
+};
+
+/// Runs one trial. `trial_seed` fully determines the randomness.
+TrialResult RunTrial(const Dataset& data,
+                     const SemiSupervisedClusterer& clusterer,
+                     const TrialSpec& spec, uint64_t trial_seed);
+
+/// Aggregate of one experimental cell (dataset x level x algorithm).
+struct CellAggregate {
+  int trials_ok = 0;
+  double corr_mean = 0.0;  ///< mean per-trial correlation (NaN-skipping)
+  double cvcp_mean = 0.0, cvcp_std = 0.0;
+  double exp_mean = 0.0, exp_std = 0.0;
+  double sil_mean = 0.0, sil_std = 0.0;  ///< NaN when silhouette skipped
+  PairedTTestResult cvcp_vs_exp{};
+  PairedTTestResult cvcp_vs_sil{};
+
+  // Per-trial series (for boxplots and pooled tests).
+  std::vector<double> cvcp_values;
+  std::vector<double> exp_values;
+  std::vector<double> sil_values;
+  std::vector<double> correlations;
+};
+
+/// Runs `trials` independent trials (seeds forked from `seed` by trial id)
+/// and aggregates.
+CellAggregate RunExperiment(const Dataset& data,
+                            const SemiSupervisedClusterer& clusterer,
+                            const TrialSpec& spec, int trials, uint64_t seed);
+
+/// ALOI-collection experiment: the cell is run per collection member; the
+/// paper reports the across-collection mean and how many members had a
+/// significant CVCP-vs-Expected difference.
+struct AloiAggregate {
+  std::vector<CellAggregate> per_dataset;
+  int significant_vs_expected = 0;  ///< paired t-test per dataset, alpha=.05
+  int significant_vs_silhouette = 0;
+  /// All trial values pooled over the collection (Figures 9-12 boxplots).
+  CellAggregate pooled;
+};
+
+AloiAggregate RunAloiExperiment(const std::vector<Dataset>& collection,
+                                const SemiSupervisedClusterer& clusterer,
+                                const TrialSpec& spec, int trials,
+                                uint64_t seed);
+
+/// "0.7489 ±0.0531"-style cell text.
+std::string FormatMeanStd(double mean, double stddev);
+
+/// Significance marker for a table cell: "*" when p < 0.05.
+std::string SigMarker(const PairedTTestResult& test);
+
+}  // namespace cvcp::bench
+
+#endif  // CVCP_BENCH_HARNESS_EXPERIMENT_H_

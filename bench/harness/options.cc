@@ -1,0 +1,66 @@
+#include "harness/options.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cvcp::bench {
+
+namespace {
+
+long EnvLong(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+}  // namespace
+
+BenchOptions ParseBenchOptions(int argc, char** argv) {
+  BenchOptions o;
+  o.trials = static_cast<int>(EnvLong("CVCP_TRIALS", o.trials));
+  o.aloi_datasets = static_cast<std::size_t>(
+      EnvLong("CVCP_ALOI_DATASETS", static_cast<long>(o.aloi_datasets)));
+  o.n_folds = static_cast<int>(EnvLong("CVCP_FOLDS", o.n_folds));
+  o.seed = static_cast<uint64_t>(EnvLong("CVCP_SEED",
+                                         static_cast<long>(o.seed)));
+  for (int i = 1; i < argc; ++i) {
+    auto next_long = [&](long fallback) {
+      return i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : fallback;
+    };
+    if (std::strcmp(argv[i], "--paper") == 0) {
+      o.trials = 50;
+      o.aloi_datasets = 100;
+      o.n_folds = 10;
+    } else if (std::strcmp(argv[i], "--trials") == 0) {
+      o.trials = static_cast<int>(next_long(o.trials));
+    } else if (std::strcmp(argv[i], "--aloi") == 0) {
+      o.aloi_datasets = static_cast<std::size_t>(next_long(
+          static_cast<long>(o.aloi_datasets)));
+    } else if (std::strcmp(argv[i], "--folds") == 0) {
+      o.n_folds = static_cast<int>(next_long(o.n_folds));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      o.seed = static_cast<uint64_t>(next_long(static_cast<long>(o.seed)));
+    }
+  }
+  if (o.trials < 2) o.trials = 2;  // paired t-test needs >= 2
+  if (o.n_folds < 2) o.n_folds = 2;
+  if (o.aloi_datasets < 1) o.aloi_datasets = 1;
+  return o;
+}
+
+void PrintBanner(const BenchOptions& options, const std::string& title,
+                 const std::string& paper_ref) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s (Pourrajabi et al., EDBT 2014)\n",
+              paper_ref.c_str());
+  std::printf(
+      "scale: %d trials, %zu ALOI sets, %d-fold CV, seed %llu "
+      "(--paper for full scale)\n\n",
+      options.trials, options.aloi_datasets, options.n_folds,
+      static_cast<unsigned long long>(options.seed));
+}
+
+}  // namespace cvcp::bench

@@ -1,0 +1,33 @@
+#ifndef CVCP_BENCH_HARNESS_OPTIONS_H_
+#define CVCP_BENCH_HARNESS_OPTIONS_H_
+
+/// \file
+/// Scale options for the paper-reproduction benches. Defaults are reduced
+/// so the whole suite runs in minutes on a laptop; `--paper` (or the env
+/// vars) restores the paper's scale (50 trials, 100 ALOI datasets,
+/// 10-fold CV).
+
+#include <cstdint>
+#include <string>
+
+namespace cvcp::bench {
+
+/// Runtime scale of a bench binary.
+struct BenchOptions {
+  int trials = 5;             ///< paper: 50   (env CVCP_TRIALS)
+  std::size_t aloi_datasets = 10;  ///< paper: 100  (env CVCP_ALOI_DATASETS)
+  int n_folds = 5;            ///< paper: "typically 10" (env CVCP_FOLDS)
+  uint64_t seed = 20140324;   ///< EDBT 2014 start date (env CVCP_SEED)
+};
+
+/// Parses env vars, then `--paper` / `--trials N` / `--aloi N` /
+/// `--folds N` / `--seed N` flags (flags win).
+BenchOptions ParseBenchOptions(int argc, char** argv);
+
+/// One-line banner describing the reproduction target and the scale.
+void PrintBanner(const BenchOptions& options, const std::string& title,
+                 const std::string& paper_ref);
+
+}  // namespace cvcp::bench
+
+#endif  // CVCP_BENCH_HARNESS_OPTIONS_H_

@@ -1,0 +1,107 @@
+// Plugging your own algorithm into CVCP: the framework selects parameters
+// for anything that implements SemiSupervisedClusterer. Here we wrap a
+// naive "cut the OPTICSDend dendrogram into p clusters" method — no
+// constraint use at all — and let CVCP pick p purely from how well the cuts
+// agree with the held-out constraints. This mirrors the paper's point that
+// the evaluation lens (constraint classification) is independent of how the
+// clusterer consumes supervision.
+
+#include <cstdio>
+
+#include "cluster/dendrogram.h"
+#include "cluster/optics.h"
+#include "common/rng.h"
+#include "constraints/oracle.h"
+#include "core/cvcp.h"
+#include "data/generators.h"
+#include "eval/external_measures.h"
+
+namespace {
+
+/// Unsupervised hierarchy cutter: parameter = number of clusters. Builds
+/// the OPTICSDend dendrogram (fixed MinPts) and descends the highest
+/// merges until `param` subtrees remain.
+class DendrogramCutClusterer : public cvcp::SemiSupervisedClusterer {
+ public:
+  std::string name() const override { return "OPTICSDend-cut"; }
+  std::string param_name() const override { return "clusters"; }
+
+  cvcp::Result<cvcp::Clustering> Cluster(const cvcp::Dataset& data,
+                                         const cvcp::Supervision& supervision,
+                                         int param,
+                                         cvcp::Rng* rng) const override {
+    (void)supervision;  // deliberately unsupervised
+    (void)rng;
+    cvcp::OpticsConfig config;
+    config.min_pts = 4;
+    auto optics = cvcp::RunOptics(data.points(), config);
+    if (!optics.ok()) return optics.status();
+    cvcp::Dendrogram dg = cvcp::Dendrogram::FromReachability(optics.value());
+
+    // Repeatedly split the widest remaining subtree (largest height).
+    std::vector<int> frontier = {dg.root()};
+    while (static_cast<int>(frontier.size()) < param) {
+      int widest = -1;
+      double best_h = -1.0;
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        const auto& nd = dg.node(frontier[i]);
+        if (!nd.is_leaf() && nd.height > best_h) {
+          best_h = nd.height;
+          widest = static_cast<int>(i);
+        }
+      }
+      if (widest < 0) break;  // only leaves left
+      const auto nd = dg.node(frontier[static_cast<size_t>(widest)]);
+      frontier[static_cast<size_t>(widest)] = nd.left;
+      frontier.push_back(nd.right);
+    }
+    std::vector<int> assignment(data.size(), cvcp::kNoise);
+    for (size_t c = 0; c < frontier.size(); ++c) {
+      for (size_t obj : dg.MembersOf(frontier[c])) {
+        assignment[obj] = static_cast<int>(c);
+      }
+    }
+    return cvcp::Clustering(std::move(assignment));
+  }
+};
+
+}  // namespace
+
+int main() {
+  cvcp::Rng rng(3);
+  cvcp::Dataset data =
+      cvcp::MakeBlobs("custom-demo", 5, 30, 2, 40.0, 1.0, &rng);
+  auto labeled = cvcp::SampleLabeledObjects(data, 0.15, &rng);
+  if (!labeled.ok()) {
+    std::fprintf(stderr, "%s\n", labeled.status().ToString().c_str());
+    return 1;
+  }
+  cvcp::Supervision supervision =
+      cvcp::Supervision::FromLabels(data, labeled.value());
+
+  DendrogramCutClusterer clusterer;
+  cvcp::CvcpConfig config;
+  config.cv.n_folds = 5;
+  config.param_grid = {2, 3, 4, 5, 6, 7, 8};
+  auto report = cvcp::RunCvcp(data, supervision, clusterer, config, &rng);
+  if (!report.ok()) {
+    std::fprintf(stderr, "CVCP failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("CVCP over a custom (fully unsupervised) clusterer \"%s\":\n\n",
+              clusterer.name().c_str());
+  for (const auto& s : report->scores) {
+    std::printf("  %s=%d  CV F=%.4f%s\n", clusterer.param_name().c_str(),
+                s.param, s.score,
+                s.param == report->best_param ? "   <- selected" : "");
+  }
+  std::vector<bool> exclude = supervision.InvolvementMask(data.size());
+  std::printf("\nselected %d clusters (true: %d); Overall F on unseen "
+              "objects: %.4f\n",
+              report->best_param, data.NumClasses(),
+              cvcp::OverallFMeasure(data.labels(), report->final_clustering,
+                                    &exclude));
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "cluster/dendrogram.h"
+
+#include <vector>
+
+namespace cvcp {
+
+Dendrogram Dendrogram::FromReachability(const OpticsResult& optics) {
+  Dendrogram dg;
+  dg.n_ = optics.order.size();
+  dg.order_ = optics.order;
+  CVCP_CHECK_GE(dg.n_, 1u);
+  CVCP_CHECK_EQ(optics.reachability.size(), dg.n_);
+
+  const size_t n = dg.n_;
+  dg.nodes_.resize(n);  // leaves first; internal nodes appended
+  for (size_t i = 0; i < n; ++i) {
+    DendrogramNode& leaf = dg.nodes_[i];
+    leaf.begin = i;
+    leaf.end = i + 1;
+    leaf.height = 0.0;
+  }
+  if (n == 1) {
+    dg.root_ = 0;
+    return dg;
+  }
+
+  // Pre-order construction with an explicit stack: each frame materializes
+  // the node covering plot span [begin, end) and hooks it to its parent.
+  struct Frame {
+    size_t begin;
+    size_t end;
+    int parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, n, -1});
+  dg.nodes_.reserve(2 * n - 1);
+
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    int id;
+    if (f.end - f.begin == 1) {
+      id = static_cast<int>(f.begin);  // leaf
+    } else {
+      // Split at the highest interior reachability (leftmost on ties, for
+      // determinism). Interior positions are begin+1 .. end-1.
+      size_t split = f.begin + 1;
+      double best = optics.reachability[split];
+      for (size_t i = f.begin + 2; i < f.end; ++i) {
+        if (optics.reachability[i] > best) {
+          best = optics.reachability[i];
+          split = i;
+        }
+      }
+      id = static_cast<int>(dg.nodes_.size());
+      DendrogramNode node;
+      node.begin = f.begin;
+      node.end = f.end;
+      node.height = best;
+      dg.nodes_.push_back(node);
+      // Children frames; left pushed last so it materializes first.
+      stack.push_back({split, f.end, id});
+      stack.push_back({f.begin, split, id});
+    }
+
+    DendrogramNode& node = dg.nodes_[static_cast<size_t>(id)];
+    node.parent = f.parent;
+    if (f.parent >= 0) {
+      DendrogramNode& parent = dg.nodes_[static_cast<size_t>(f.parent)];
+      if (parent.left < 0) {
+        parent.left = id;
+      } else {
+        CVCP_CHECK_LT(parent.right, 0);
+        parent.right = id;
+      }
+    } else {
+      dg.root_ = id;
+    }
+  }
+
+  CVCP_CHECK_EQ(dg.nodes_.size(), 2 * n - 1);
+  return dg;
+}
+
+std::vector<int> Dendrogram::CutAt(double height) const {
+  std::vector<int> assignment(n_, -1);
+  int next_cluster = 0;
+  std::vector<int> stack = {root_};
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    const DendrogramNode& nd = node(id);
+    if (nd.is_leaf() || nd.height <= height) {
+      const int cluster = next_cluster++;
+      for (size_t pos = nd.begin; pos < nd.end; ++pos) {
+        assignment[order_[pos]] = cluster;
+      }
+    } else {
+      stack.push_back(nd.right);
+      stack.push_back(nd.left);
+    }
+  }
+  return assignment;
+}
+
+}  // namespace cvcp

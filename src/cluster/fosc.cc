@@ -1,0 +1,212 @@
+#include "cluster/fosc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace cvcp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Replaces infinite merge heights (component boundaries in the
+/// reachability plot) by a finite cap so lifetime stability stays finite.
+double FiniteHeightCap(const Dendrogram& dg) {
+  double max_finite = 0.0;
+  for (size_t id = 0; id < dg.num_nodes(); ++id) {
+    const double h = dg.node(static_cast<int>(id)).height;
+    if (std::isfinite(h)) max_finite = std::max(max_finite, h);
+  }
+  return max_finite > 0.0 ? 1.5 * max_finite : 1.0;
+}
+
+}  // namespace
+
+Result<FoscResult> ExtractClusters(const Dendrogram& dendrogram,
+                                   const ConstraintSet& constraints,
+                                   const FoscConfig& config) {
+  if (config.min_cluster_size < 1) {
+    return Status::InvalidArgument("min_cluster_size must be >= 1");
+  }
+  if (config.alpha < 0.0 || config.alpha > 1.0) {
+    return Status::InvalidArgument(
+        Format("alpha must be in [0, 1], got %f", config.alpha));
+  }
+  const size_t n = dendrogram.num_objects();
+  const size_t num_nodes = dendrogram.num_nodes();
+
+  // Object id -> plot position (leaf node id).
+  std::vector<size_t> pos_of(n, SIZE_MAX);
+  for (size_t leaf = 0; leaf < n; ++leaf) {
+    const size_t obj = dendrogram.LeafObject(static_cast<int>(leaf));
+    if (obj >= n || pos_of[obj] != SIZE_MAX) {
+      return Status::Internal("dendrogram leaf order is not a permutation");
+    }
+    pos_of[obj] = leaf;
+  }
+
+  // --- Constraint objective J per node, via path accumulation. ---
+  std::vector<double> j_value(num_nodes, 0.0);
+  auto contains = [&](int id, size_t pos) {
+    const DendrogramNode& nd = dendrogram.node(id);
+    return nd.begin <= pos && pos < nd.end;
+  };
+  for (const Constraint& c : constraints.all()) {
+    if (c.a >= n || c.b >= n) {
+      return Status::InvalidArgument(
+          Format("constraint %s outside dendrogram of %zu objects",
+                 ConstraintToString(c).c_str(), n));
+    }
+    const size_t pa = pos_of[c.a];
+    const size_t pb = pos_of[c.b];
+    if (c.type == ConstraintType::kMustLink) {
+      // +1 on every node containing both endpoints: the path from the
+      // smallest common node up to the root.
+      int id = static_cast<int>(pa);
+      while (!contains(id, pb)) id = dendrogram.node(id).parent;
+      for (; id >= 0; id = dendrogram.node(id).parent) j_value[id] += 1.0;
+    } else {
+      // +1/2 on every node containing exactly one endpoint: the two paths
+      // from each leaf up to (excluding) the smallest common node.
+      int id = static_cast<int>(pa);
+      while (!contains(id, pb)) {
+        j_value[id] += 0.5;
+        id = dendrogram.node(id).parent;
+      }
+      id = static_cast<int>(pb);
+      while (!contains(id, pa)) {
+        j_value[id] += 0.5;
+        id = dendrogram.node(id).parent;
+      }
+    }
+  }
+
+  // --- Stability (lifetime) per node. ---
+  std::vector<double> stability(num_nodes, 0.0);
+  const double cap = FiniteHeightCap(dendrogram);
+  for (size_t id = 0; id < num_nodes; ++id) {
+    const DendrogramNode& nd = dendrogram.node(static_cast<int>(id));
+    if (nd.parent < 0) continue;  // root has no lifetime
+    double h_parent = dendrogram.node(nd.parent).height;
+    double h_node = nd.is_leaf() ? 0.0 : nd.height;
+    if (!std::isfinite(h_parent)) h_parent = cap;
+    if (!std::isfinite(h_node)) h_node = cap;
+    stability[id] =
+        static_cast<double>(nd.size()) * std::max(0.0, h_parent - h_node);
+  }
+
+  const double j_scale =
+      constraints.empty() ? 1.0 : static_cast<double>(constraints.size());
+
+  auto eligible = [&](int id) {
+    const DendrogramNode& nd = dendrogram.node(id);
+    if (nd.size() < config.min_cluster_size) return false;
+    if (id == dendrogram.root() && !config.allow_root) return false;
+    return true;
+  };
+
+  // Post-order DP. value[id] = best achievable in the subtree; selection
+  // rule (incl. tie handling) is documented at the sweep below.
+  std::vector<double> best(num_nodes, 0.0);
+  std::vector<bool> take(num_nodes, false);
+
+  // Bottom-up order: leaves (ids [0, n)) first — they have no children —
+  // then internal nodes from high id to low. Internal nodes are created
+  // pre-order, so every internal child has a larger id than its parent.
+  std::vector<size_t> bottom_up;
+  bottom_up.reserve(num_nodes);
+  for (size_t id = 0; id < n; ++id) bottom_up.push_back(id);
+  for (size_t id = num_nodes; id-- > n;) bottom_up.push_back(id);
+
+  // Normalize stability by the best unsupervised selection so alpha mixes
+  // two [0, 1]-scale terms. First pass computes that normalizer.
+  double stability_norm = 1.0;
+  if (config.alpha < 1.0) {
+    std::vector<double> sbest(num_nodes, 0.0);
+    for (size_t id : bottom_up) {
+      const DendrogramNode& nd = dendrogram.node(static_cast<int>(id));
+      const double children = nd.is_leaf()
+                                  ? 0.0
+                                  : sbest[static_cast<size_t>(nd.left)] +
+                                        sbest[static_cast<size_t>(nd.right)];
+      const double own =
+          eligible(static_cast<int>(id)) ? stability[id] : -kInf;
+      sbest[id] = std::max(children, own);
+    }
+    if (sbest[static_cast<size_t>(dendrogram.root())] > 0.0) {
+      stability_norm = sbest[static_cast<size_t>(dendrogram.root())];
+    }
+  }
+
+  auto blended = [&](size_t id) {
+    const double j_term = j_value[id] / j_scale;
+    const double s_term = stability[id] / stability_norm;
+    return config.alpha * j_term + (1.0 - config.alpha) * s_term;
+  };
+
+  // Tie-break: a node with the same value as its children's best selection
+  // wins if it carries actual evidence (own > 0). Objects that are not
+  // constraint endpoints contribute nothing to J, so without this rule the
+  // DP would select the *minimal* subtrees containing the endpoints and
+  // leave the rest of every natural cluster as noise; with it, selection
+  // climbs to the maximal subtree whose merge does not lose objective value
+  // (i.e. up to the first merge that traps a cannot-link or crosses
+  // evidence boundaries). Zero-evidence subtrees still stay noise.
+  constexpr double kTieEps = 1e-9;
+  for (size_t id : bottom_up) {
+    const DendrogramNode& nd = dendrogram.node(static_cast<int>(id));
+    const double children = nd.is_leaf()
+                                ? 0.0
+                                : best[static_cast<size_t>(nd.left)] +
+                                      best[static_cast<size_t>(nd.right)];
+    double own = -kInf;
+    if (eligible(static_cast<int>(id))) own = blended(id);
+    const bool take_node =
+        own > children + kTieEps ||
+        (own > kTieEps && own >= children - kTieEps);
+    if (take_node) {
+      best[id] = std::max(own, children);
+      take[id] = true;
+    } else {
+      best[id] = children;
+      take[id] = false;
+    }
+  }
+
+  // Backtrack the selection from the root.
+  FoscResult result;
+  std::vector<int> assignment(n, kNoise);
+  std::vector<int> stack = {dendrogram.root()};
+  double selected_j = 0.0;
+  while (!stack.empty()) {
+    const int id = stack.back();
+    stack.pop_back();
+    if (take[static_cast<size_t>(id)]) {
+      const int cluster = static_cast<int>(result.selected_nodes.size());
+      result.selected_nodes.push_back(id);
+      selected_j += j_value[static_cast<size_t>(id)];
+      for (size_t obj : dendrogram.MembersOf(id)) {
+        assignment[obj] = cluster;
+      }
+      continue;
+    }
+    const DendrogramNode& nd = dendrogram.node(id);
+    if (!nd.is_leaf()) {
+      stack.push_back(nd.right);
+      stack.push_back(nd.left);
+    }
+  }
+
+  result.clustering = Clustering(std::move(assignment));
+  result.objective = best[static_cast<size_t>(dendrogram.root())];
+  result.constraint_satisfaction =
+      constraints.empty()
+          ? std::numeric_limits<double>::quiet_NaN()
+          : selected_j / static_cast<double>(constraints.size());
+  return result;
+}
+
+}  // namespace cvcp

@@ -1,0 +1,67 @@
+#ifndef CVCP_CLUSTER_FOSC_H_
+#define CVCP_CLUSTER_FOSC_H_
+
+/// \file
+/// FOSC — Framework for Optimal Selection of Clusters from hierarchies
+/// (Campello, Moulavi, Zimek & Sander, DMKD 2013). Given a dendrogram,
+/// selects the set of non-overlapping candidate clusters (subtrees) that
+/// maximizes a per-cluster objective, by an exact bottom-up dynamic
+/// program. Combined with the OPTICSDend hierarchy this is the
+/// FOSC-OPTICSDend algorithm the paper evaluates CVCP with.
+///
+/// Semi-supervised objective (per candidate cluster C, half-credit per
+/// constraint endpoint, which makes the objective additive over disjoint
+/// selected clusters):
+///   * must-link (a,b): +1/2 for each endpoint in C whose partner is
+///     also in C (so a fully honored must-link earns 1.0);
+///   * cannot-link (a,b): +1/2 for each endpoint in C whose partner is
+///     *not* in C.
+/// Objects covered by no selected cluster are noise; their endpoints earn
+/// nothing (DESIGN.md §6).
+///
+/// The unsupervised objective is the classic lifetime stability
+/// |C| * (h(parent) - h(C)); `alpha` blends the two (1.0 = pure
+/// semi-supervised, the paper's setting).
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "cluster/dendrogram.h"
+#include "common/status.h"
+#include "constraints/constraint_set.h"
+
+namespace cvcp {
+
+/// FOSC configuration.
+struct FoscConfig {
+  /// Subtrees smaller than this are not candidate clusters (their objects
+  /// become noise unless an ancestor is selected).
+  size_t min_cluster_size = 2;
+  /// Weight of the constraint-satisfaction objective vs. stability.
+  double alpha = 1.0;
+  /// Whether the root (the all-inclusive "cluster") may be selected.
+  bool allow_root = false;
+};
+
+/// Output of a FOSC extraction.
+struct FoscResult {
+  Clustering clustering;
+  /// Ids of the selected dendrogram nodes.
+  std::vector<int> selected_nodes;
+  /// Total blended objective achieved by the selection.
+  double objective = 0.0;
+  /// Fraction of constraints satisfied by the selection under the
+  /// half-credit semantics; NaN when no constraints were given.
+  double constraint_satisfaction = 0.0;
+};
+
+/// Runs the FOSC dynamic program. Errors with kInvalidArgument if
+/// min_cluster_size < 1, alpha outside [0, 1], or a constraint references
+/// an object the dendrogram does not cover.
+Result<FoscResult> ExtractClusters(const Dendrogram& dendrogram,
+                                   const ConstraintSet& constraints,
+                                   const FoscConfig& config);
+
+}  // namespace cvcp
+
+#endif  // CVCP_CLUSTER_FOSC_H_

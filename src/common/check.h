@@ -1,0 +1,86 @@
+#ifndef CVCP_COMMON_CHECK_H_
+#define CVCP_COMMON_CHECK_H_
+
+/// \file
+/// Invariant-checking macros. `CVCP_CHECK*` are always active and abort the
+/// process with a diagnostic on failure; `CVCP_DCHECK*` compile away in
+/// release builds (NDEBUG). Library code uses these for *programming errors*
+/// only — recoverable conditions go through Status/Result (see status.h).
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cvcp {
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* condition,
+                                   const std::string& message) {
+  std::cerr << "CHECK failed at " << file << ":" << line << ": " << condition;
+  if (!message.empty()) {
+    std::cerr << " — " << message;
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+/// Builds the failure message lazily from streamable parts.
+template <typename... Args>
+std::string CheckMessage(const Args&... args) {
+  std::ostringstream oss;
+  (oss << ... << args);
+  return oss.str();
+}
+
+}  // namespace internal
+}  // namespace cvcp
+
+#define CVCP_CHECK(condition)                                          \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::cvcp::internal::CheckFail(__FILE__, __LINE__, #condition, ""); \
+    }                                                                  \
+  } while (false)
+
+#define CVCP_CHECK_MSG(condition, ...)                          \
+  do {                                                          \
+    if (!(condition)) {                                         \
+      ::cvcp::internal::CheckFail(                              \
+          __FILE__, __LINE__, #condition,                       \
+          ::cvcp::internal::CheckMessage(__VA_ARGS__));         \
+    }                                                           \
+  } while (false)
+
+#define CVCP_CHECK_OP(op, a, b)                                              \
+  do {                                                                       \
+    if (!((a)op(b))) {                                                       \
+      ::cvcp::internal::CheckFail(                                           \
+          __FILE__, __LINE__, #a " " #op " " #b,                             \
+          ::cvcp::internal::CheckMessage("lhs=", (a), " rhs=", (b)));        \
+    }                                                                        \
+  } while (false)
+
+#define CVCP_CHECK_EQ(a, b) CVCP_CHECK_OP(==, a, b)
+#define CVCP_CHECK_NE(a, b) CVCP_CHECK_OP(!=, a, b)
+#define CVCP_CHECK_LT(a, b) CVCP_CHECK_OP(<, a, b)
+#define CVCP_CHECK_LE(a, b) CVCP_CHECK_OP(<=, a, b)
+#define CVCP_CHECK_GT(a, b) CVCP_CHECK_OP(>, a, b)
+#define CVCP_CHECK_GE(a, b) CVCP_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define CVCP_DCHECK(condition) \
+  do {                         \
+  } while (false)
+#define CVCP_DCHECK_EQ(a, b) CVCP_DCHECK((a) == (b))
+#define CVCP_DCHECK_LT(a, b) CVCP_DCHECK((a) < (b))
+#define CVCP_DCHECK_LE(a, b) CVCP_DCHECK((a) <= (b))
+#else
+#define CVCP_DCHECK(condition) CVCP_CHECK(condition)
+#define CVCP_DCHECK_EQ(a, b) CVCP_CHECK_EQ(a, b)
+#define CVCP_DCHECK_LT(a, b) CVCP_CHECK_LT(a, b)
+#define CVCP_DCHECK_LE(a, b) CVCP_CHECK_LE(a, b)
+#endif
+
+#endif  // CVCP_COMMON_CHECK_H_

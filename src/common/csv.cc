@@ -1,0 +1,117 @@
+#include "common/csv.h"
+
+#include <fstream>
+
+namespace cvcp {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  if (!NeedsQuoting(field)) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::AddRow(const std::vector<std::string>& fields) {
+  rows_.push_back(fields);
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += QuoteField(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return Status::NotFound("cannot open for writing: " + path);
+  }
+  file << ToString();
+  if (!file.good()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::InvalidArgument(
+              "quote in the middle of an unquoted field");
+        }
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        row.push_back(field);
+        field.clear();
+        field_started = true;
+        break;
+      case '\r':
+        break;  // handled with the following \n (or ignored)
+      case '\n':
+        if (field_started || !field.empty() || !row.empty()) {
+          row.push_back(field);
+          rows.push_back(row);
+        }
+        field.clear();
+        row.clear();
+        field_started = false;
+        break;
+      default:
+        field += c;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    row.push_back(field);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace cvcp

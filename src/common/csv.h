@@ -1,0 +1,40 @@
+#ifndef CVCP_COMMON_CSV_H_
+#define CVCP_COMMON_CSV_H_
+
+/// \file
+/// Minimal CSV writer (RFC-4180 quoting) so bench binaries can optionally
+/// dump machine-readable results next to the printed tables.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cvcp {
+
+/// Accumulates rows and writes them as CSV.
+class CsvWriter {
+ public:
+  /// Appends one row; fields are quoted as needed on output.
+  void AddRow(const std::vector<std::string>& fields);
+
+  /// All accumulated rows as one CSV string.
+  std::string ToString() const;
+
+  /// Writes ToString() to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses CSV text (RFC-4180: quoted fields, escaped quotes, CRLF).
+/// Returns rows of fields.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+}  // namespace cvcp
+
+#endif  // CVCP_COMMON_CSV_H_

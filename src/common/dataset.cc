@@ -1,0 +1,26 @@
+#include "common/dataset.h"
+
+#include <algorithm>
+
+namespace cvcp {
+
+int Dataset::NumClasses() const {
+  if (labels_.empty()) return 0;
+  return *std::max_element(labels_.begin(), labels_.end()) + 1;
+}
+
+std::vector<size_t> Dataset::ClassSizes() const {
+  std::vector<size_t> sizes(static_cast<size_t>(NumClasses()), 0);
+  for (int l : labels_) sizes[static_cast<size_t>(l)]++;
+  return sizes;
+}
+
+std::vector<size_t> Dataset::ObjectsOfClass(int cls) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == cls) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace cvcp

@@ -1,0 +1,67 @@
+#ifndef CVCP_COMMON_DATASET_H_
+#define CVCP_COMMON_DATASET_H_
+
+/// \file
+/// A Dataset couples a point matrix with optional ground-truth class labels.
+/// Labels are used (a) by the supervision oracle to sample labeled objects /
+/// constraint pools, and (b) by the external evaluation (Overall F-Measure).
+/// The clustering algorithms themselves never see them.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/matrix.h"
+
+namespace cvcp {
+
+/// Points + optional ground-truth labels + a display name.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Unlabeled dataset.
+  Dataset(std::string name, Matrix points)
+      : name_(std::move(name)), points_(std::move(points)) {}
+
+  /// Labeled dataset; labels must be non-negative class ids, one per row.
+  Dataset(std::string name, Matrix points, std::vector<int> labels)
+      : name_(std::move(name)),
+        points_(std::move(points)),
+        labels_(std::move(labels)) {
+    CVCP_CHECK_EQ(labels_.size(), points_.rows());
+    for (int l : labels_) CVCP_CHECK_GE(l, 0);
+  }
+
+  const std::string& name() const { return name_; }
+  const Matrix& points() const { return points_; }
+  size_t size() const { return points_.rows(); }
+  size_t dims() const { return points_.cols(); }
+
+  bool has_labels() const { return !labels_.empty(); }
+  const std::vector<int>& labels() const { return labels_; }
+  int label(size_t i) const {
+    CVCP_CHECK(has_labels());
+    CVCP_CHECK_LT(i, labels_.size());
+    return labels_[i];
+  }
+
+  /// Number of distinct classes (max label + 1).
+  int NumClasses() const;
+
+  /// Objects per class id; length NumClasses().
+  std::vector<size_t> ClassSizes() const;
+
+  /// Indices of all objects with the given class label.
+  std::vector<size_t> ObjectsOfClass(int cls) const;
+
+ private:
+  std::string name_;
+  Matrix points_;
+  std::vector<int> labels_;
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_COMMON_DATASET_H_

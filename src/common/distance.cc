@@ -1,0 +1,88 @@
+#include "common/distance.h"
+
+#include <cmath>
+
+namespace cvcp {
+
+double SquaredEuclideanDistance(std::span<const double> a,
+                                std::span<const double> b) {
+  CVCP_DCHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+double EuclideanDistance(std::span<const double> a,
+                         std::span<const double> b) {
+  return std::sqrt(SquaredEuclideanDistance(a, b));
+}
+
+double ManhattanDistance(std::span<const double> a,
+                         std::span<const double> b) {
+  CVCP_DCHECK_EQ(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    sum += std::fabs(a[i] - b[i]);
+  }
+  return sum;
+}
+
+double CosineDistance(std::span<const double> a, std::span<const double> b) {
+  CVCP_DCHECK_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  return 1.0 - dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double WeightedSquaredEuclidean(std::span<const double> a,
+                                std::span<const double> b,
+                                std::span<const double> weights) {
+  CVCP_DCHECK_EQ(a.size(), b.size());
+  CVCP_DCHECK_EQ(a.size(), weights.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += weights[i] * d * d;
+  }
+  return sum;
+}
+
+double Distance(std::span<const double> a, std::span<const double> b,
+                Metric metric) {
+  switch (metric) {
+    case Metric::kEuclidean:
+      return EuclideanDistance(a, b);
+    case Metric::kSquaredEuclidean:
+      return SquaredEuclideanDistance(a, b);
+    case Metric::kManhattan:
+      return ManhattanDistance(a, b);
+    case Metric::kCosine:
+      return CosineDistance(a, b);
+  }
+  CVCP_CHECK_MSG(false, "unreachable metric");
+  return 0.0;
+}
+
+DistanceMatrix DistanceMatrix::Compute(const Matrix& points, Metric metric) {
+  DistanceMatrix dm;
+  dm.n_ = points.rows();
+  if (dm.n_ < 2) return dm;
+  dm.data_.resize(dm.n_ * (dm.n_ - 1) / 2);
+  size_t idx = 0;
+  for (size_t i = 0; i < dm.n_; ++i) {
+    for (size_t j = i + 1; j < dm.n_; ++j) {
+      dm.data_[idx++] = Distance(points.Row(i), points.Row(j), metric);
+    }
+  }
+  return dm;
+}
+
+}  // namespace cvcp

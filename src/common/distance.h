@@ -1,0 +1,73 @@
+#ifndef CVCP_COMMON_DISTANCE_H_
+#define CVCP_COMMON_DISTANCE_H_
+
+/// \file
+/// Distance metrics and a condensed pairwise distance matrix. Weighted
+/// squared Euclidean (diagonal Mahalanobis) is the form MPCKMeans learns.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/matrix.h"
+
+namespace cvcp {
+
+/// Supported point-to-point metrics.
+enum class Metric {
+  kEuclidean,
+  kSquaredEuclidean,
+  kManhattan,
+  kCosine,  ///< 1 - cosine similarity; zero vectors are at distance 1.
+};
+
+/// Distance between two equal-length vectors under `metric`.
+double Distance(std::span<const double> a, std::span<const double> b,
+                Metric metric);
+
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+double SquaredEuclideanDistance(std::span<const double> a,
+                                std::span<const double> b);
+double ManhattanDistance(std::span<const double> a, std::span<const double> b);
+double CosineDistance(std::span<const double> a, std::span<const double> b);
+
+/// Diagonal-Mahalanobis squared distance: sum_m w[m] * (a[m]-b[m])^2.
+/// Weights must be non-negative.
+double WeightedSquaredEuclidean(std::span<const double> a,
+                                std::span<const double> b,
+                                std::span<const double> weights);
+
+/// Precomputed symmetric pairwise distances, condensed upper-triangular
+/// storage: n*(n-1)/2 doubles. Diagonal is implicitly zero.
+class DistanceMatrix {
+ public:
+  DistanceMatrix() : n_(0) {}
+
+  /// Computes all pairwise distances between rows of `points`.
+  static DistanceMatrix Compute(const Matrix& points, Metric metric);
+
+  size_t n() const { return n_; }
+
+  /// Distance between objects i and j (order-insensitive).
+  double operator()(size_t i, size_t j) const {
+    CVCP_DCHECK_LT(i, n_);
+    CVCP_DCHECK_LT(j, n_);
+    if (i == j) return 0.0;
+    return data_[CondensedIndex(i, j)];
+  }
+
+ private:
+  size_t CondensedIndex(size_t i, size_t j) const {
+    if (i > j) std::swap(i, j);
+    // Index of (i, j), i < j, in row-major upper-triangular order.
+    return i * n_ - i * (i + 1) / 2 + (j - i - 1);
+  }
+
+  size_t n_;
+  std::vector<double> data_;
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_COMMON_DISTANCE_H_

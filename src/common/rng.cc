@@ -1,0 +1,42 @@
+#include "common/rng.h"
+
+#include <numeric>
+
+namespace cvcp {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  uint64_t state = seed_ ^ (0xA0761D6478BD642FULL * (stream_id + 1));
+  uint64_t derived = SplitMix64(state);
+  derived ^= SplitMix64(state);
+  return Rng(derived);
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> out(n);
+  std::iota(out.begin(), out.end(), size_t{0});
+  Shuffle(out);
+  return out;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  CVCP_CHECK_LE(k, n);
+  // Partial Fisher–Yates: O(n) memory, O(n + k) time. Fine at our scales.
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + Index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace cvcp

@@ -1,0 +1,97 @@
+#ifndef CVCP_COMMON_RNG_H_
+#define CVCP_COMMON_RNG_H_
+
+/// \file
+/// Deterministic random number generation. Every experiment component draws
+/// from an `Rng` that is derived from (master seed, stream ids...) via
+/// SplitMix64 mixing, so any table cell of the paper reproduction can be
+/// re-run in isolation and produce the same numbers as the full run.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cvcp {
+
+/// SplitMix64 mixing step; used for seed derivation (not for sampling).
+uint64_t SplitMix64(uint64_t& state);
+
+/// Deterministic PRNG wrapper (mt19937_64) with convenience sampling.
+class Rng {
+ public:
+  /// Seeds the generator. Identical seeds yield identical streams.
+  explicit Rng(uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Derives an independent child stream from this RNG's seed and a stream
+  /// id. Forking does not consume state from the parent, so the set of
+  /// children is stable no matter how much the parent is used.
+  Rng Fork(uint64_t stream_id) const;
+
+  uint64_t seed() const { return seed_; }
+
+  /// Uniform on [0, 2^64).
+  uint64_t NextUint64() { return engine_(); }
+
+  /// Uniform real on [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform integer on [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    CVCP_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform size_t on [0, n).
+  size_t Index(size_t n) {
+    CVCP_CHECK_GT(n, 0u);
+    return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform real on [lo, hi).
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[Index(i)]);
+    }
+  }
+
+  /// Returns a random permutation of {0, ..., n-1}.
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Samples `k` distinct indices from {0, ..., n-1}, in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Samples `k` distinct elements from `pool`, in random order.
+  template <typename T>
+  std::vector<T> SampleFrom(const std::vector<T>& pool, size_t k) {
+    std::vector<size_t> idx = SampleWithoutReplacement(pool.size(), k);
+    std::vector<T> out;
+    out.reserve(k);
+    for (size_t i : idx) out.push_back(pool[i]);
+    return out;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  uint64_t seed_;
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_COMMON_RNG_H_

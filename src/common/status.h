@@ -1,0 +1,152 @@
+#ifndef CVCP_COMMON_STATUS_H_
+#define CVCP_COMMON_STATUS_H_
+
+/// \file
+/// RocksDB-style error handling: fallible public APIs return `Status` or
+/// `Result<T>` instead of throwing. Internal invariant violations use the
+/// CVCP_CHECK macros instead (check.h).
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace cvcp {
+
+/// Machine-inspectable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInconsistentConstraints,  ///< must-link and cannot-link contradict
+  kInfeasible,               ///< no solution exists (e.g. COP-KMeans dead end)
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for a code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic success/error type. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status InconsistentConstraints(std::string msg) {
+    return Status(StatusCode::kInconsistentConstraints, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a fatal programming error (checked).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — enables `return some_t;`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error — enables `return Status::InvalidArgument(...)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    CVCP_CHECK_MSG(!std::get<Status>(payload_).ok(),
+                   "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    CVCP_CHECK_MSG(ok(), "Result::value() on error: ", status().ToString());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CVCP_CHECK_MSG(ok(), "Result::value() on error: ", status().ToString());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CVCP_CHECK_MSG(ok(), "Result::value() on error: ", status().ToString());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace cvcp
+
+/// Propagates a non-OK Status from the current function.
+#define CVCP_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::cvcp::Status _cvcp_status = (expr);       \
+    if (!_cvcp_status.ok()) return _cvcp_status; \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// assigns the value to `lhs`. `lhs` may include a declaration.
+#define CVCP_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  CVCP_ASSIGN_OR_RETURN_IMPL_(                              \
+      CVCP_STATUS_CONCAT_(_cvcp_result, __LINE__), lhs, rexpr)
+
+#define CVCP_STATUS_CONCAT_INNER_(a, b) a##b
+#define CVCP_STATUS_CONCAT_(a, b) CVCP_STATUS_CONCAT_INNER_(a, b)
+#define CVCP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // CVCP_COMMON_STATUS_H_

@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+namespace cvcp {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  // Column count = widest row.
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  if (cols == 0) return caption_.empty() ? "" : caption_ + "\n";
+
+  std::vector<size_t> widths(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      // Count UTF-8 code points, not bytes, so em-dashes align.
+      size_t len = 0;
+      for (unsigned char ch : row[c]) {
+        if ((ch & 0xC0) != 0x80) ++len;
+      }
+      widths[c] = std::max(widths[c], len);
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      size_t len = 0;
+      for (unsigned char ch : cell) {
+        if ((ch & 0xC0) != 0x80) ++len;
+      }
+      line += cell;
+      line.append(widths[c] - len, ' ');
+      if (c + 1 < cols) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out;
+  if (!caption_.empty()) out += caption_ + "\n";
+  if (!header_.empty()) {
+    out += render_row(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < cols; ++c) total += widths[c] + (c + 1 < cols ? 2 : 0);
+    out += std::string(total, '-') + "\n";
+  }
+  for (const auto& r : rows_) out += render_row(r);
+  return out;
+}
+
+}  // namespace cvcp

@@ -1,0 +1,37 @@
+#ifndef CVCP_COMMON_TABLE_H_
+#define CVCP_COMMON_TABLE_H_
+
+/// \file
+/// ASCII table renderer so bench binaries can print results in the same
+/// row/column shape as the paper's tables.
+
+#include <string>
+#include <vector>
+
+namespace cvcp {
+
+/// Column-aligned text table with an optional caption.
+class TextTable {
+ public:
+  explicit TextTable(std::string caption = "") : caption_(std::move(caption)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends a data row (ragged rows are padded with empty cells).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with a caption line, header separator, and aligned columns.
+  std::string Render() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_COMMON_TABLE_H_

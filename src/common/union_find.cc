@@ -1,0 +1,56 @@
+#include "common/union_find.h"
+
+#include <numeric>
+
+namespace cvcp {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_components_(n) {
+  std::iota(parent_.begin(), parent_.end(), size_t{0});
+}
+
+size_t UnionFind::Find(size_t x) {
+  CVCP_CHECK_LT(x, parent_.size());
+  size_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[x] != root) {
+    size_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  size_t ra = Find(a);
+  size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_components_;
+  return true;
+}
+
+size_t UnionFind::ComponentSize(size_t x) { return size_[Find(x)]; }
+
+std::vector<size_t> UnionFind::ComponentIds() {
+  std::vector<size_t> ids(parent_.size());
+  std::vector<size_t> root_to_id(parent_.size(), SIZE_MAX);
+  size_t next_id = 0;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    const size_t root = Find(i);
+    if (root_to_id[root] == SIZE_MAX) root_to_id[root] = next_id++;
+    ids[i] = root_to_id[root];
+  }
+  return ids;
+}
+
+std::vector<std::vector<size_t>> UnionFind::Components() {
+  std::vector<size_t> ids = ComponentIds();
+  std::vector<std::vector<size_t>> comps(num_components_);
+  for (size_t i = 0; i < ids.size(); ++i) comps[ids[i]].push_back(i);
+  return comps;
+}
+
+}  // namespace cvcp

@@ -1,0 +1,53 @@
+#ifndef CVCP_COMMON_UNION_FIND_H_
+#define CVCP_COMMON_UNION_FIND_H_
+
+/// \file
+/// Disjoint-set forest with path compression and union by size. Backbone of
+/// the must-link transitive closure and of cluster component bookkeeping.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cvcp {
+
+/// Classic union-find over {0, ..., n-1}.
+class UnionFind {
+ public:
+  /// n singleton components.
+  explicit UnionFind(size_t n);
+
+  size_t size() const { return parent_.size(); }
+
+  /// Representative of x's component (with path compression).
+  size_t Find(size_t x);
+
+  /// Merges the components of a and b. Returns true if they were distinct.
+  bool Union(size_t a, size_t b);
+
+  /// True if a and b are in the same component.
+  bool Same(size_t a, size_t b) { return Find(a) == Find(b); }
+
+  /// Number of elements in x's component.
+  size_t ComponentSize(size_t x);
+
+  size_t NumComponents() const { return num_components_; }
+
+  /// Canonical component id per element, compacted to 0..k-1 in order of
+  /// first appearance.
+  std::vector<size_t> ComponentIds();
+
+  /// Members of every component, grouped; component order matches
+  /// ComponentIds() numbering.
+  std::vector<std::vector<size_t>> Components();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  size_t num_components_;
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_COMMON_UNION_FIND_H_

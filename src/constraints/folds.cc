@@ -1,0 +1,165 @@
+#include "constraints/folds.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "constraints/transitive_closure.h"
+
+namespace cvcp {
+
+namespace {
+
+/// Distributes `objects` (already shuffled) round-robin over n folds so fold
+/// sizes differ by at most one.
+std::vector<std::vector<size_t>> AssignRoundRobin(
+    const std::vector<size_t>& objects, int n_folds) {
+  std::vector<std::vector<size_t>> folds(static_cast<size_t>(n_folds));
+  for (size_t i = 0; i < objects.size(); ++i) {
+    folds[i % static_cast<size_t>(n_folds)].push_back(objects[i]);
+  }
+  return folds;
+}
+
+/// Builds the train/test object lists for fold `t` from per-fold members.
+void SplitObjects(const std::vector<std::vector<size_t>>& folds, size_t t,
+                  std::vector<size_t>* train, std::vector<size_t>* test) {
+  test->assign(folds[t].begin(), folds[t].end());
+  train->clear();
+  for (size_t f = 0; f < folds.size(); ++f) {
+    if (f == t) continue;
+    train->insert(train->end(), folds[f].begin(), folds[f].end());
+  }
+  std::sort(train->begin(), train->end());
+  std::sort(test->begin(), test->end());
+}
+
+}  // namespace
+
+Result<std::vector<FoldSplit>> MakeLabelFolds(
+    const std::vector<size_t>& labeled_objects, const std::vector<int>& labels,
+    size_t n_total, const FoldConfig& config, Rng* rng) {
+  if (config.n_folds < 2) {
+    return Status::InvalidArgument(
+        Format("n_folds must be >= 2, got %d", config.n_folds));
+  }
+  if (labeled_objects.size() < static_cast<size_t>(config.n_folds)) {
+    return Status::InvalidArgument(
+        Format("%zu labeled objects cannot fill %d folds",
+               labeled_objects.size(), config.n_folds));
+  }
+  CVCP_CHECK_EQ(labels.size(), n_total);
+  for (size_t o : labeled_objects) {
+    CVCP_CHECK_LT(o, n_total);
+    CVCP_CHECK_GE(labels[o], 0);
+  }
+
+  std::vector<std::vector<size_t>> folds;
+  if (config.stratified) {
+    // Group objects by class, shuffle within class, deal round-robin across
+    // folds class by class with a rotating offset so small classes do not
+    // pile into fold 0.
+    std::map<int, std::vector<size_t>> by_class;
+    for (size_t o : labeled_objects) by_class[labels[o]].push_back(o);
+    folds.assign(static_cast<size_t>(config.n_folds), {});
+    size_t offset = 0;
+    for (auto& [cls, members] : by_class) {
+      (void)cls;
+      rng->Shuffle(members);
+      for (size_t i = 0; i < members.size(); ++i) {
+        folds[(offset + i) % folds.size()].push_back(members[i]);
+      }
+      offset += members.size();
+    }
+  } else {
+    std::vector<size_t> shuffled = labeled_objects;
+    rng->Shuffle(shuffled);
+    folds = AssignRoundRobin(shuffled, config.n_folds);
+  }
+
+  std::vector<FoldSplit> splits(static_cast<size_t>(config.n_folds));
+  for (size_t t = 0; t < splits.size(); ++t) {
+    FoldSplit& split = splits[t];
+    SplitObjects(folds, t, &split.train_objects, &split.test_objects);
+    split.train_constraints =
+        ConstraintSet::FromLabels(labels, split.train_objects);
+    split.test_constraints =
+        ConstraintSet::FromLabels(labels, split.test_objects);
+    split.train_labels.assign(n_total, -1);
+    for (size_t o : split.train_objects) split.train_labels[o] = labels[o];
+  }
+  return splits;
+}
+
+Result<std::vector<FoldSplit>> MakeConstraintFolds(
+    const ConstraintSet& constraints, const FoldConfig& config, Rng* rng) {
+  if (config.n_folds < 2) {
+    return Status::InvalidArgument(
+        Format("n_folds must be >= 2, got %d", config.n_folds));
+  }
+  // Paper §3.1.2: first extend the given constraints by transitive closure.
+  CVCP_ASSIGN_OR_RETURN(ConstraintSet closed, TransitiveClosure(constraints));
+
+  std::vector<size_t> involved = closed.InvolvedObjects();
+  if (involved.size() < static_cast<size_t>(config.n_folds)) {
+    return Status::InvalidArgument(
+        Format("%zu constrained objects cannot fill %d folds",
+               involved.size(), config.n_folds));
+  }
+  rng->Shuffle(involved);
+  std::vector<std::vector<size_t>> folds =
+      AssignRoundRobin(involved, config.n_folds);
+
+  std::vector<FoldSplit> splits(static_cast<size_t>(config.n_folds));
+  for (size_t t = 0; t < splits.size(); ++t) {
+    FoldSplit& split = splits[t];
+    SplitObjects(folds, t, &split.train_objects, &split.test_objects);
+    // Keep only the constraints fully inside one side (this is the graph
+    // cut), then close each side independently. Restriction of a consistent
+    // set stays consistent, so the closures cannot fail.
+    ConstraintSet train_kept = closed.RestrictedTo(split.train_objects);
+    ConstraintSet test_kept = closed.RestrictedTo(split.test_objects);
+    CVCP_ASSIGN_OR_RETURN(split.train_constraints,
+                          TransitiveClosure(train_kept));
+    CVCP_ASSIGN_OR_RETURN(split.test_constraints, TransitiveClosure(test_kept));
+  }
+  return splits;
+}
+
+Result<std::vector<FoldSplit>> MakeNaiveConstraintFolds(
+    const ConstraintSet& constraints, const FoldConfig& config, Rng* rng) {
+  if (config.n_folds < 2) {
+    return Status::InvalidArgument(
+        Format("n_folds must be >= 2, got %d", config.n_folds));
+  }
+  if (constraints.size() < static_cast<size_t>(config.n_folds)) {
+    return Status::InvalidArgument(
+        Format("%zu constraints cannot fill %d folds", constraints.size(),
+               config.n_folds));
+  }
+  // Shuffle the *constraints* and deal them into folds — endpoints are not
+  // partitioned, so the closure of the training side can (and does) imply
+  // test constraints. For measurement only.
+  std::vector<size_t> order(constraints.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(order);
+
+  std::span<const Constraint> all = constraints.all();
+  std::vector<FoldSplit> splits(static_cast<size_t>(config.n_folds));
+  for (size_t i = 0; i < order.size(); ++i) {
+    const size_t fold = i % splits.size();
+    const Constraint& c = all[order[i]];
+    for (size_t t = 0; t < splits.size(); ++t) {
+      ConstraintSet& target = (t == fold) ? splits[t].test_constraints
+                                          : splits[t].train_constraints;
+      CVCP_CHECK(target.Add(c.a, c.b, c.type).ok());
+    }
+  }
+  for (FoldSplit& split : splits) {
+    split.train_objects = split.train_constraints.InvolvedObjects();
+    split.test_objects = split.test_constraints.InvolvedObjects();
+  }
+  return splits;
+}
+
+}  // namespace cvcp

@@ -1,0 +1,81 @@
+#include "constraints/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace cvcp {
+
+namespace {
+
+Status ValidateFraction(double fraction) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    return Status::InvalidArgument(
+        Format("fraction must be in (0, 1], got %f", fraction));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> SampleLabeledObjects(const Dataset& data,
+                                                 double fraction, Rng* rng) {
+  CVCP_RETURN_IF_ERROR(ValidateFraction(fraction));
+  if (!data.has_labels()) {
+    return Status::FailedPrecondition("dataset has no ground-truth labels");
+  }
+  const size_t n = data.size();
+  size_t k = static_cast<size_t>(
+      std::lround(fraction * static_cast<double>(n)));
+  k = std::clamp<size_t>(k, 2, n);
+  std::vector<size_t> sampled = rng->SampleWithoutReplacement(n, k);
+  std::sort(sampled.begin(), sampled.end());
+  return sampled;
+}
+
+Result<ConstraintSet> BuildConstraintPool(const Dataset& data,
+                                          double per_class_fraction,
+                                          Rng* rng) {
+  CVCP_RETURN_IF_ERROR(ValidateFraction(per_class_fraction));
+  if (!data.has_labels()) {
+    return Status::FailedPrecondition("dataset has no ground-truth labels");
+  }
+  std::vector<size_t> selected;
+  for (int cls = 0; cls < data.NumClasses(); ++cls) {
+    std::vector<size_t> members = data.ObjectsOfClass(cls);
+    if (members.empty()) continue;
+    size_t k = static_cast<size_t>(std::ceil(
+        per_class_fraction * static_cast<double>(members.size())));
+    k = std::clamp<size_t>(k, 1, members.size());
+    std::vector<size_t> chosen = rng->SampleFrom(members, k);
+    selected.insert(selected.end(), chosen.begin(), chosen.end());
+  }
+  std::sort(selected.begin(), selected.end());
+  if (selected.size() < 2) {
+    return Status::InvalidArgument(
+        "constraint pool needs at least 2 selected objects");
+  }
+  return ConstraintSet::FromLabels(data.labels(), selected);
+}
+
+Result<ConstraintSet> SampleConstraints(const ConstraintSet& pool,
+                                        double fraction, Rng* rng) {
+  CVCP_RETURN_IF_ERROR(ValidateFraction(fraction));
+  if (pool.empty()) {
+    return Status::InvalidArgument("constraint pool is empty");
+  }
+  size_t k = static_cast<size_t>(
+      std::lround(fraction * static_cast<double>(pool.size())));
+  k = std::clamp<size_t>(k, 1, pool.size());
+  std::vector<size_t> idx = rng->SampleWithoutReplacement(pool.size(), k);
+  std::sort(idx.begin(), idx.end());
+  ConstraintSet out;
+  std::span<const Constraint> all = pool.all();
+  for (size_t i : idx) {
+    CVCP_CHECK(out.Add(all[i].a, all[i].b, all[i].type).ok());
+  }
+  return out;
+}
+
+}  // namespace cvcp

@@ -1,0 +1,41 @@
+#ifndef CVCP_CONSTRAINTS_ORACLE_H_
+#define CVCP_CONSTRAINTS_ORACLE_H_
+
+/// \file
+/// Supervision oracle: samples the partial information the user "provides"
+/// in the paper's experiments from a dataset's ground-truth labels.
+///
+///   Label scenario:      x% of all objects, uniformly at random (§4.1).
+///   Constraint scenario: a pool built from all pairwise constraints among
+///                        10% of the objects of *each* class, from which a
+///                        given fraction is then drawn per trial (§4.1).
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "constraints/constraint_set.h"
+
+namespace cvcp {
+
+/// Samples round(fraction * n) objects uniformly without replacement
+/// (at least 2). Errors if the dataset is unlabeled or the fraction is
+/// outside (0, 1].
+Result<std::vector<size_t>> SampleLabeledObjects(const Dataset& data,
+                                                 double fraction, Rng* rng);
+
+/// Builds the paper's candidate constraint pool: selects
+/// ceil(per_class_fraction * |class|) objects from each class (at least 1)
+/// and derives all pairwise constraints among all selected objects.
+Result<ConstraintSet> BuildConstraintPool(const Dataset& data,
+                                          double per_class_fraction, Rng* rng);
+
+/// Draws round(fraction * |pool|) constraints (at least 1) uniformly without
+/// replacement from the pool.
+Result<ConstraintSet> SampleConstraints(const ConstraintSet& pool,
+                                        double fraction, Rng* rng);
+
+}  // namespace cvcp
+
+#endif  // CVCP_CONSTRAINTS_ORACLE_H_

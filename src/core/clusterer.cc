@@ -1,0 +1,66 @@
+#include "core/clusterer.h"
+
+#include "cluster/dendrogram.h"
+#include "cluster/optics.h"
+
+namespace cvcp {
+
+Result<Clustering> FoscOpticsDendClusterer::Cluster(
+    const Dataset& data, const Supervision& supervision, int param,
+    Rng* rng) const {
+  (void)rng;  // the pipeline is deterministic
+  OpticsConfig optics_config;
+  optics_config.min_pts = param;
+  optics_config.metric = metric_;
+  CVCP_ASSIGN_OR_RETURN(OpticsResult optics,
+                        RunOptics(data.points(), optics_config));
+  const Dendrogram dendrogram = Dendrogram::FromReachability(optics);
+  CVCP_ASSIGN_OR_RETURN(
+      FoscResult fosc,
+      ExtractClusters(dendrogram, supervision.constraints(), fosc_));
+  return fosc.clustering;
+}
+
+Result<Clustering> MpckMeansClusterer::Cluster(const Dataset& data,
+                                               const Supervision& supervision,
+                                               int param, Rng* rng) const {
+  MpckMeansConfig config = base_;
+  config.k = param;
+  CVCP_ASSIGN_OR_RETURN(
+      MpckMeansResult result,
+      RunMpckMeans(data.points(), supervision.constraints(), config, rng));
+  return result.clustering;
+}
+
+Result<Clustering> CopKMeansClusterer::Cluster(const Dataset& data,
+                                               const Supervision& supervision,
+                                               int param, Rng* rng) const {
+  CopKMeansConfig config = base_;
+  config.k = param;
+  Result<CopKMeansResult> result =
+      RunCopKMeans(data.points(), supervision.constraints(), config, rng);
+  if (result.ok()) return std::move(result).value().clustering;
+  if (result.status().code() != StatusCode::kInfeasible) {
+    return result.status();
+  }
+  // Hard constraints dead-ended: degrade to unconstrained k-means rather
+  // than aborting the whole model-selection sweep.
+  KMeansConfig km;
+  km.k = param;
+  CVCP_ASSIGN_OR_RETURN(KMeansResult fallback,
+                        RunKMeans(data.points(), km, rng));
+  return fallback.clustering;
+}
+
+Result<Clustering> KMeansClusterer::Cluster(const Dataset& data,
+                                            const Supervision& supervision,
+                                            int param, Rng* rng) const {
+  (void)supervision;
+  KMeansConfig config = base_;
+  config.k = param;
+  CVCP_ASSIGN_OR_RETURN(KMeansResult result,
+                        RunKMeans(data.points(), config, rng));
+  return result.clustering;
+}
+
+}  // namespace cvcp

@@ -1,0 +1,120 @@
+#ifndef CVCP_CORE_CLUSTERER_H_
+#define CVCP_CORE_CLUSTERER_H_
+
+/// \file
+/// The pluggable algorithm interface CVCP selects models for, plus the
+/// adapters for the algorithms shipped with the library. A clusterer maps
+/// (dataset, supervision, one integer parameter) to a flat clustering of
+/// the *whole* dataset; CVCP sweeps the parameter.
+
+#include <memory>
+#include <string>
+
+#include "cluster/clustering.h"
+#include "cluster/copkmeans.h"
+#include "cluster/fosc.h"
+#include "cluster/kmeans.h"
+#include "cluster/mpckmeans.h"
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/supervision.h"
+
+namespace cvcp {
+
+/// A semi-supervised clustering algorithm with one integer hyperparameter.
+class SemiSupervisedClusterer {
+ public:
+  virtual ~SemiSupervisedClusterer() = default;
+
+  /// Display name ("FOSC-OPTICSDend", "MPCKMeans", ...).
+  virtual std::string name() const = 0;
+
+  /// What the swept parameter means ("MinPts", "k", ...).
+  virtual std::string param_name() const = 0;
+
+  /// Clusters all of `data` using the supervision.
+  virtual Result<Clustering> Cluster(const Dataset& data,
+                                     const Supervision& supervision, int param,
+                                     Rng* rng) const = 0;
+
+  /// True for centroid-style algorithms whose output the Silhouette
+  /// baseline is meaningful for (paper §4.3 uses Silhouette only for
+  /// MPCKMeans).
+  virtual bool IsCentroidBased() const { return false; }
+};
+
+/// FOSC-OPTICSDend (param = MinPts): OPTICS ordering -> reachability
+/// dendrogram -> FOSC extraction under the constraint objective.
+class FoscOpticsDendClusterer : public SemiSupervisedClusterer {
+ public:
+  explicit FoscOpticsDendClusterer(FoscConfig fosc = {},
+                                   Metric metric = Metric::kEuclidean)
+      : fosc_(fosc), metric_(metric) {}
+
+  std::string name() const override { return "FOSC-OPTICSDend"; }
+  std::string param_name() const override { return "MinPts"; }
+  Result<Clustering> Cluster(const Dataset& data,
+                             const Supervision& supervision, int param,
+                             Rng* rng) const override;
+
+ private:
+  FoscConfig fosc_;
+  Metric metric_;
+};
+
+/// MPCKMeans (param = k).
+class MpckMeansClusterer : public SemiSupervisedClusterer {
+ public:
+  explicit MpckMeansClusterer(MpckMeansConfig base = {}) : base_(base) {}
+
+  std::string name() const override { return "MPCKMeans"; }
+  std::string param_name() const override { return "k"; }
+  bool IsCentroidBased() const override { return true; }
+  Result<Clustering> Cluster(const Dataset& data,
+                             const Supervision& supervision, int param,
+                             Rng* rng) const override;
+
+ private:
+  MpckMeansConfig base_;
+};
+
+/// COP-KMeans (param = k); hard constraints, used by the extension bench.
+/// Infeasible runs fall back to unconstrained k-means so model selection
+/// always receives a clustering (recorded via `fallbacks` counters by the
+/// caller if needed).
+class CopKMeansClusterer : public SemiSupervisedClusterer {
+ public:
+  explicit CopKMeansClusterer(CopKMeansConfig base = {}) : base_(base) {}
+
+  std::string name() const override { return "COP-KMeans"; }
+  std::string param_name() const override { return "k"; }
+  bool IsCentroidBased() const override { return true; }
+  Result<Clustering> Cluster(const Dataset& data,
+                             const Supervision& supervision, int param,
+                             Rng* rng) const override;
+
+ private:
+  CopKMeansConfig base_;
+};
+
+/// Plain k-means (param = k), ignoring supervision — the unsupervised
+/// control.
+class KMeansClusterer : public SemiSupervisedClusterer {
+ public:
+  explicit KMeansClusterer(KMeansConfig base = {}) : base_(base) {}
+
+  std::string name() const override { return "KMeans"; }
+  std::string param_name() const override { return "k"; }
+  bool IsCentroidBased() const override { return true; }
+  Result<Clustering> Cluster(const Dataset& data,
+                             const Supervision& supervision, int param,
+                             Rng* rng) const override;
+
+ private:
+  KMeansConfig base_;
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_CORE_CLUSTERER_H_

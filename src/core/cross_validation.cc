@@ -1,0 +1,68 @@
+#include "core/cross_validation.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/fmeasure.h"
+
+namespace cvcp {
+
+Result<std::vector<FoldSplit>> MakeSupervisionFolds(
+    const Dataset& data, const Supervision& supervision,
+    const CvConfig& config, Rng* rng) {
+  FoldConfig fold_config;
+  fold_config.n_folds = config.n_folds;
+  fold_config.stratified = config.stratified;
+  if (supervision.kind() == SupervisionKind::kLabels) {
+    return MakeLabelFolds(supervision.involved_objects(),
+                          supervision.sparse_labels(), data.size(),
+                          fold_config, rng);
+  }
+  return MakeConstraintFolds(supervision.constraints(), fold_config, rng);
+}
+
+Result<CvScore> ScoreParamOnFolds(const Dataset& data,
+                                  const std::vector<FoldSplit>& folds,
+                                  SupervisionKind kind,
+                                  const SemiSupervisedClusterer& clusterer,
+                                  int param, Rng* rng) {
+  CvScore score;
+  score.fold_scores.reserve(folds.size());
+  double sum = 0.0;
+  for (size_t f = 0; f < folds.size(); ++f) {
+    const FoldSplit& fold = folds[f];
+    // Training supervision for this fold.
+    Supervision train =
+        kind == SupervisionKind::kLabels
+            ? Supervision::FromLabelArray(fold.train_labels)
+            : Supervision::FromConstraints(fold.train_constraints);
+    // Independent, reproducible randomness per (param, fold).
+    Rng fold_rng = rng->Fork((static_cast<uint64_t>(param) << 20) | f);
+    CVCP_ASSIGN_OR_RETURN(Clustering clustering,
+                          clusterer.Cluster(data, train, param, &fold_rng));
+    const ConstraintFMeasure fm =
+        EvaluateConstraintClassification(clustering, fold.test_constraints);
+    score.fold_scores.push_back(fm.average);
+    if (!std::isnan(fm.average)) {
+      sum += fm.average;
+      ++score.valid_folds;
+    }
+  }
+  score.mean_f = score.valid_folds > 0
+                     ? sum / static_cast<double>(score.valid_folds)
+                     : std::numeric_limits<double>::quiet_NaN();
+  return score;
+}
+
+Result<CvScore> CrossValidateParam(const Dataset& data,
+                                   const Supervision& supervision,
+                                   const SemiSupervisedClusterer& clusterer,
+                                   int param, const CvConfig& config,
+                                   Rng* rng) {
+  CVCP_ASSIGN_OR_RETURN(std::vector<FoldSplit> folds,
+                        MakeSupervisionFolds(data, supervision, config, rng));
+  return ScoreParamOnFolds(data, folds, supervision.kind(), clusterer, param,
+                           rng);
+}
+
+}  // namespace cvcp

@@ -1,0 +1,64 @@
+#ifndef CVCP_CORE_CROSS_VALIDATION_H_
+#define CVCP_CORE_CROSS_VALIDATION_H_
+
+/// \file
+/// The paper's sound n-fold cross-validation driver (§3.1, Fig. 1): split
+/// the supervision into independent train/test folds, cluster the whole
+/// dataset with the training part, classify the test fold's constraints
+/// with the resulting partition, and average the constraint F-measure over
+/// folds. Folds are built once and reused across parameter values so CVCP
+/// compares parameters on identical splits.
+
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "constraints/folds.h"
+#include "core/clusterer.h"
+#include "core/supervision.h"
+
+namespace cvcp {
+
+/// Cross-validation configuration.
+struct CvConfig {
+  int n_folds = 10;
+  /// Scenario I only: stratify folds by class label.
+  bool stratified = false;
+};
+
+/// Builds the scenario-appropriate folds for the given supervision:
+/// Scenario I uses MakeLabelFolds, Scenario II uses MakeConstraintFolds.
+Result<std::vector<FoldSplit>> MakeSupervisionFolds(
+    const Dataset& data, const Supervision& supervision,
+    const CvConfig& config, Rng* rng);
+
+/// Cross-validated score of one parameter value.
+struct CvScore {
+  /// Mean constraint-classification F over the valid folds; NaN if none.
+  double mean_f = 0.0;
+  /// Per-fold averages (NaN where a fold had no test constraints).
+  std::vector<double> fold_scores;
+  int valid_folds = 0;
+};
+
+/// Scores `param` on prebuilt folds. The clusterer sees each fold's
+/// training supervision (labels when Scenario I provided them, else
+/// constraints); the test fold's constraints only ever meet the finished
+/// partition. Clusterer RNG is forked per (param, fold) so scores are
+/// reproducible and fold order is immaterial.
+Result<CvScore> ScoreParamOnFolds(const Dataset& data,
+                                  const std::vector<FoldSplit>& folds,
+                                  SupervisionKind kind,
+                                  const SemiSupervisedClusterer& clusterer,
+                                  int param, Rng* rng);
+
+/// Convenience: folds + score in one call (fresh folds for this parameter).
+Result<CvScore> CrossValidateParam(const Dataset& data,
+                                   const Supervision& supervision,
+                                   const SemiSupervisedClusterer& clusterer,
+                                   int param, const CvConfig& config, Rng* rng);
+
+}  // namespace cvcp
+
+#endif  // CVCP_CORE_CROSS_VALIDATION_H_

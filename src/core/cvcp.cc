@@ -1,0 +1,55 @@
+#include "core/cvcp.h"
+
+#include <cmath>
+
+namespace cvcp {
+
+Result<CvcpReport> RunCvcp(const Dataset& data, const Supervision& supervision,
+                           const SemiSupervisedClusterer& clusterer,
+                           const CvcpConfig& config, Rng* rng) {
+  if (config.param_grid.empty()) {
+    return Status::InvalidArgument("CVCP needs a non-empty parameter grid");
+  }
+
+  // One set of folds, shared by every grid value (paired comparison).
+  Rng fold_rng = rng->Fork(0xF01D5ULL);
+  CVCP_ASSIGN_OR_RETURN(
+      std::vector<FoldSplit> folds,
+      MakeSupervisionFolds(data, supervision, config.cv, &fold_rng));
+
+  CvcpReport report;
+  report.scores.reserve(config.param_grid.size());
+  bool have_best = false;
+  Rng score_rng = rng->Fork(0x5C0BEULL);
+  for (int param : config.param_grid) {
+    CVCP_ASSIGN_OR_RETURN(
+        CvScore cv_score,
+        ScoreParamOnFolds(data, folds, supervision.kind(), clusterer, param,
+                          &score_rng));
+    CvcpParamScore entry;
+    entry.param = param;
+    entry.score = cv_score.mean_f;
+    entry.valid_folds = cv_score.valid_folds;
+    report.scores.push_back(entry);
+    // Step 3: argmax, first (grid-order) winner on ties.
+    if (!std::isnan(entry.score) &&
+        (!have_best || entry.score > report.best_score)) {
+      report.best_param = entry.param;
+      report.best_score = entry.score;
+      have_best = true;
+    }
+  }
+  if (!have_best) {
+    return Status::FailedPrecondition(
+        "no parameter value produced a valid cross-validation score");
+  }
+
+  // Step 4: final run with all available supervision.
+  Rng final_rng = rng->Fork(0xF17A1ULL);
+  CVCP_ASSIGN_OR_RETURN(
+      report.final_clustering,
+      clusterer.Cluster(data, supervision, report.best_param, &final_rng));
+  return report;
+}
+
+}  // namespace cvcp

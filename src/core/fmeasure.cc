@@ -1,0 +1,74 @@
+#include "core/fmeasure.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cvcp {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Precision/recall/F for one class given its TP/FP/FN. A ratio with a
+/// zero denominator is 0 (the conventional convention when the class has
+/// real examples, which the caller guarantees).
+void ClassScores(size_t tp, size_t fp, size_t fn, double* precision,
+                 double* recall, double* f) {
+  *precision = (tp + fp) == 0
+                   ? 0.0
+                   : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  *recall = (tp + fn) == 0
+                ? 0.0
+                : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  *f = (*precision + *recall) == 0.0
+           ? 0.0
+           : 2.0 * *precision * *recall / (*precision + *recall);
+}
+
+}  // namespace
+
+ConstraintFMeasure EvaluateConstraintClassification(
+    const Clustering& clustering, const ConstraintSet& test_constraints) {
+  ConstraintFMeasure r;
+  for (const Constraint& c : test_constraints.all()) {
+    CVCP_CHECK_LT(c.b, clustering.size());
+    const bool together = clustering.SameCluster(c.a, c.b);
+    if (c.type == ConstraintType::kMustLink) {
+      together ? ++r.ml_together : ++r.ml_apart;
+    } else {
+      together ? ++r.cl_together : ++r.cl_apart;
+    }
+  }
+
+  const bool has_must = r.ml_together + r.ml_apart > 0;
+  const bool has_cannot = r.cl_together + r.cl_apart > 0;
+
+  if (has_must) {
+    // Class 1 (must-link): positive prediction = "together".
+    // FP1 = cannot-links predicted together; FN1 = must-links apart.
+    ClassScores(r.ml_together, r.cl_together, r.ml_apart, &r.precision_must,
+                &r.recall_must, &r.f_must);
+  } else {
+    r.precision_must = r.recall_must = r.f_must = kNaN;
+  }
+  if (has_cannot) {
+    // Class 0 (cannot-link): positive prediction = "apart".
+    // FP0 = must-links predicted apart; FN0 = cannot-links together.
+    ClassScores(r.cl_apart, r.ml_apart, r.cl_together, &r.precision_cannot,
+                &r.recall_cannot, &r.f_cannot);
+  } else {
+    r.precision_cannot = r.recall_cannot = r.f_cannot = kNaN;
+  }
+
+  if (has_must && has_cannot) {
+    r.average = 0.5 * (r.f_must + r.f_cannot);
+  } else if (has_must) {
+    r.average = r.f_must;
+  } else if (has_cannot) {
+    r.average = r.f_cannot;
+  } else {
+    r.average = kNaN;
+  }
+  return r;
+}
+
+}  // namespace cvcp

@@ -1,0 +1,120 @@
+#include "data/generators.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cvcp {
+
+Dataset MakeGaussianMixture(const std::string& name,
+                            const std::vector<GaussianClusterSpec>& specs,
+                            Rng* rng) {
+  CVCP_CHECK(!specs.empty());
+  const size_t dims = specs.front().mean.size();
+  Matrix points;
+  std::vector<int> labels;
+  for (size_t c = 0; c < specs.size(); ++c) {
+    const GaussianClusterSpec& spec = specs[c];
+    CVCP_CHECK_EQ(spec.mean.size(), dims);
+    CVCP_CHECK(!spec.stddevs.empty());
+    std::vector<double> row(dims);
+    for (size_t i = 0; i < spec.size; ++i) {
+      for (size_t m = 0; m < dims; ++m) {
+        const double sd =
+            spec.stddevs.size() == 1 ? spec.stddevs[0] : spec.stddevs[m];
+        row[m] = rng->Gaussian(spec.mean[m], sd);
+      }
+      points.AppendRow(row);
+      labels.push_back(static_cast<int>(c));
+    }
+  }
+  return Dataset(name, std::move(points), std::move(labels));
+}
+
+Dataset MakeBlobs(const std::string& name, int k, size_t per_cluster,
+                  size_t dims, double separation, double spread, Rng* rng) {
+  CVCP_CHECK_GE(k, 1);
+  std::vector<GaussianClusterSpec> specs;
+  for (int c = 0; c < k; ++c) {
+    GaussianClusterSpec spec;
+    spec.mean.resize(dims);
+    for (double& m : spec.mean) m = rng->Uniform(0.0, separation);
+    spec.stddevs = {spread};
+    spec.size = per_cluster;
+    specs.push_back(std::move(spec));
+  }
+  return MakeGaussianMixture(name, specs, rng);
+}
+
+Dataset MakeTwoMoons(const std::string& name, size_t per_moon, double noise,
+                     Rng* rng) {
+  Matrix points;
+  std::vector<int> labels;
+  for (size_t i = 0; i < per_moon; ++i) {
+    const double t = M_PI * rng->NextDouble();
+    points.AppendRow(std::vector<double>{
+        std::cos(t) + rng->Gaussian(0.0, noise),
+        std::sin(t) + rng->Gaussian(0.0, noise)});
+    labels.push_back(0);
+  }
+  for (size_t i = 0; i < per_moon; ++i) {
+    const double t = M_PI * rng->NextDouble();
+    points.AppendRow(std::vector<double>{
+        1.0 - std::cos(t) + rng->Gaussian(0.0, noise),
+        0.5 - std::sin(t) + rng->Gaussian(0.0, noise)});
+    labels.push_back(1);
+  }
+  return Dataset(name, std::move(points), std::move(labels));
+}
+
+Dataset MakeRings(const std::string& name, const std::vector<double>& radii,
+                  size_t per_ring, double noise, Rng* rng) {
+  CVCP_CHECK(!radii.empty());
+  Matrix points;
+  std::vector<int> labels;
+  for (size_t r = 0; r < radii.size(); ++r) {
+    for (size_t i = 0; i < per_ring; ++i) {
+      const double theta = 2.0 * M_PI * rng->NextDouble();
+      const double radius = radii[r] + rng->Gaussian(0.0, noise);
+      points.AppendRow(std::vector<double>{radius * std::cos(theta),
+                                           radius * std::sin(theta)});
+      labels.push_back(static_cast<int>(r));
+    }
+  }
+  return Dataset(name, std::move(points), std::move(labels));
+}
+
+Dataset MakeExpressionProfiles(const std::string& name,
+                               const std::vector<size_t>& class_sizes,
+                               size_t conditions, double amp_lo, double amp_hi,
+                               double noise, Rng* rng) {
+  CVCP_CHECK(!class_sizes.empty());
+  CVCP_CHECK_GE(conditions, 2u);
+  Matrix points;
+  std::vector<int> labels;
+  std::vector<double> row(conditions);
+  for (size_t c = 0; c < class_sizes.size(); ++c) {
+    // Classes are *adjacent* phases within one cycle (cell-cycle waves
+    // peak in consecutive stages), not opposite ones: profile directions
+    // form a tight fan, so the dominant variance direction is amplitude —
+    // shared across classes — which is exactly what makes centroid methods
+    // carve the data into amplitude bands instead of phase classes.
+    const double phase = (M_PI * 0.75) * static_cast<double>(c) /
+                         static_cast<double>(class_sizes.size());
+    for (size_t g = 0; g < class_sizes[c]; ++g) {
+      const double amp = rng->Uniform(amp_lo, amp_hi);
+      const double baseline = rng->Uniform(-0.3, 0.3);
+      for (size_t t = 0; t < conditions; ++t) {
+        const double angle = 2.0 * M_PI * static_cast<double>(t) /
+                                 static_cast<double>(conditions) +
+                             phase;
+        row[t] = amp * std::sin(angle) + baseline + rng->Gaussian(0.0, noise);
+      }
+      points.AppendRow(row);
+      labels.push_back(static_cast<int>(c));
+    }
+  }
+  return Dataset(name, std::move(points), std::move(labels));
+}
+
+}  // namespace cvcp

@@ -1,0 +1,61 @@
+#ifndef CVCP_DATA_GENERATORS_H_
+#define CVCP_DATA_GENERATORS_H_
+
+/// \file
+/// Synthetic dataset generators. Two families:
+///  * convex (Gaussian mixtures, with controllable separation, imbalance,
+///    anisotropy and scale skew) — the regime where k-means-style methods
+///    are adequate;
+///  * non-convex (moons, rings, elongated rays) — the regime where only
+///    density-based methods recover the ground truth, used to reproduce
+///    the paper's Zyeast behaviour (negative CVCP correlation for
+///    MPCKMeans).
+
+#include <string>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/rng.h"
+
+namespace cvcp {
+
+/// One Gaussian component of a mixture.
+struct GaussianClusterSpec {
+  std::vector<double> mean;
+  /// Per-dimension standard deviations; if a single value is given it is
+  /// broadcast to every dimension.
+  std::vector<double> stddevs;
+  size_t size = 0;
+};
+
+/// Samples a labeled mixture; class c = spec index c.
+Dataset MakeGaussianMixture(const std::string& name,
+                            const std::vector<GaussianClusterSpec>& specs,
+                            Rng* rng);
+
+/// k spherical Gaussian blobs with means sampled uniformly in
+/// [0, separation]^dims and common standard deviation `spread`.
+Dataset MakeBlobs(const std::string& name, int k, size_t per_cluster,
+                  size_t dims, double separation, double spread, Rng* rng);
+
+/// Two interleaved half-moons in 2-d with Gaussian jitter `noise`.
+Dataset MakeTwoMoons(const std::string& name, size_t per_moon, double noise,
+                     Rng* rng);
+
+/// Concentric rings in 2-d (class = ring index) with radial jitter.
+Dataset MakeRings(const std::string& name, const std::vector<double>& radii,
+                  size_t per_ring, double noise, Rng* rng);
+
+/// Phase-shifted sinusoidal "expression profiles": each class shares a
+/// phase, each object gets a random amplitude in [amp_lo, amp_hi], a random
+/// baseline and i.i.d. Gaussian noise per condition. Classes are elongated
+/// amplitude rays — non-convex for centroid methods, connected for density
+/// methods.
+Dataset MakeExpressionProfiles(const std::string& name,
+                               const std::vector<size_t>& class_sizes,
+                               size_t conditions, double amp_lo, double amp_hi,
+                               double noise, Rng* rng);
+
+}  // namespace cvcp
+
+#endif  // CVCP_DATA_GENERATORS_H_

@@ -1,0 +1,23 @@
+#ifndef CVCP_DATA_IRIS_H_
+#define CVCP_DATA_IRIS_H_
+
+/// \file
+/// The classic Fisher/Anderson Iris data (UCI ML repository): 150 flowers,
+/// 4 measurements (sepal length/width, petal length/width in cm), 3 classes
+/// of 50 (setosa, versicolor, virginica). Embedded because the paper's UCI
+/// experiments need at least one genuine dataset and Iris is public-domain
+/// and tiny. Transcribed offline from the canonical table; the defining
+/// structure — setosa linearly separable, versicolor/virginica overlapping —
+/// is verified by tests/data_test.cc.
+
+#include "common/dataset.h"
+
+namespace cvcp {
+
+/// Returns the embedded Iris dataset (classes: 0=setosa, 1=versicolor,
+/// 2=virginica).
+Dataset MakeIris();
+
+}  // namespace cvcp
+
+#endif  // CVCP_DATA_IRIS_H_

@@ -1,0 +1,94 @@
+#include "eval/boxplot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/strings.h"
+
+namespace cvcp {
+
+BoxplotStats BoxplotStats::FromSamples(std::vector<double> samples) {
+  BoxplotStats s;
+  s.n = samples.size();
+  if (samples.empty()) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    s.min = s.q1 = s.median = s.q3 = s.max = nan;
+    s.whisker_low = s.whisker_high = nan;
+    return s;
+  }
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.q1 = QuantileSorted(samples, 0.25);
+  s.median = QuantileSorted(samples, 0.5);
+  s.q3 = QuantileSorted(samples, 0.75);
+  const double iqr = s.q3 - s.q1;
+  const double lo_fence = s.q1 - 1.5 * iqr;
+  const double hi_fence = s.q3 + 1.5 * iqr;
+  s.whisker_low = s.max;
+  s.whisker_high = s.min;
+  for (double v : samples) {
+    if (v < lo_fence || v > hi_fence) {
+      s.outliers.push_back(v);
+    } else {
+      s.whisker_low = std::min(s.whisker_low, v);
+      s.whisker_high = std::max(s.whisker_high, v);
+    }
+  }
+  return s;
+}
+
+std::string RenderBoxplots(const std::vector<LabeledBox>& boxes, double lo,
+                           double hi, int width) {
+  CVCP_CHECK_GT(width, 10);
+  CVCP_CHECK_GT(hi, lo);
+  size_t label_width = 0;
+  for (const auto& b : boxes) label_width = std::max(label_width, b.label.size());
+
+  auto column = [&](double v) {
+    const double t = (v - lo) / (hi - lo);
+    const int c = static_cast<int>(std::lround(t * (width - 1)));
+    return std::clamp(c, 0, width - 1);
+  };
+
+  std::string out;
+  for (const auto& b : boxes) {
+    std::string line(static_cast<size_t>(width), ' ');
+    if (b.stats.n > 0 && !std::isnan(b.stats.median)) {
+      const int wl = column(b.stats.whisker_low);
+      const int wh = column(b.stats.whisker_high);
+      const int q1 = column(b.stats.q1);
+      const int q3 = column(b.stats.q3);
+      const int md = column(b.stats.median);
+      for (int c = wl; c <= wh; ++c) line[static_cast<size_t>(c)] = '-';
+      line[static_cast<size_t>(wl)] = '|';
+      line[static_cast<size_t>(wh)] = '|';
+      for (int c = q1; c <= q3; ++c) line[static_cast<size_t>(c)] = '=';
+      line[static_cast<size_t>(q1)] = '[';
+      line[static_cast<size_t>(q3)] = ']';
+      line[static_cast<size_t>(md)] = '#';
+      for (double o : b.stats.outliers) {
+        line[static_cast<size_t>(column(o))] = 'o';
+      }
+    }
+    std::string label = b.label;
+    label.resize(label_width, ' ');
+    out += label + " |" + line + "|\n";
+  }
+  out += Format("%*s  axis: [%.3f, %.3f]   ([=#=] box+median, |--| whiskers, o outliers)\n",
+                static_cast<int>(label_width), "", lo, hi);
+  for (const auto& b : boxes) {
+    out += Format(
+        "%-*s  n=%-3zu min=%s q1=%s med=%s q3=%s max=%s\n",
+        static_cast<int>(label_width), b.label.c_str(), b.stats.n,
+        FormatDouble(b.stats.min).c_str(), FormatDouble(b.stats.q1).c_str(),
+        FormatDouble(b.stats.median).c_str(), FormatDouble(b.stats.q3).c_str(),
+        FormatDouble(b.stats.max).c_str());
+  }
+  return out;
+}
+
+}  // namespace cvcp

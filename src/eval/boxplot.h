@@ -1,0 +1,47 @@
+#ifndef CVCP_EVAL_BOXPLOT_H_
+#define CVCP_EVAL_BOXPLOT_H_
+
+/// \file
+/// Five-number boxplot summaries and an ASCII renderer — how the bench
+/// binaries reproduce the paper's Figures 9-12 (quality distributions over
+/// the ALOI collection for CVCP-x vs Exp-x vs Sil-x).
+
+#include <string>
+#include <vector>
+
+namespace cvcp {
+
+/// Tukey boxplot statistics of one sample.
+struct BoxplotStats {
+  double min = 0.0;          ///< sample minimum
+  double q1 = 0.0;           ///< first quartile
+  double median = 0.0;
+  double q3 = 0.0;           ///< third quartile
+  double max = 0.0;          ///< sample maximum
+  double whisker_low = 0.0;  ///< lowest point within q1 - 1.5 IQR
+  double whisker_high = 0.0; ///< highest point within q3 + 1.5 IQR
+  std::vector<double> outliers;
+  size_t n = 0;
+
+  /// Computes the statistics; NaN-filled for an empty sample.
+  static BoxplotStats FromSamples(std::vector<double> samples);
+};
+
+/// One labeled box in a rendered plot.
+struct LabeledBox {
+  std::string label;
+  BoxplotStats stats;
+};
+
+/// Renders horizontal ASCII boxplots on a shared [lo, hi] axis:
+///
+///   CVCP-10  |      |----[  =|=  ]-------|        o
+///
+/// (whiskers |---|, box [ ], median =|=, outliers o). Also appends a
+/// numeric five-number summary per box.
+std::string RenderBoxplots(const std::vector<LabeledBox>& boxes, double lo,
+                           double hi, int width = 60);
+
+}  // namespace cvcp
+
+#endif  // CVCP_EVAL_BOXPLOT_H_

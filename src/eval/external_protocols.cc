@@ -1,0 +1,167 @@
+#include "eval/external_protocols.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+#include "constraints/oracle.h"
+#include "eval/external_measures.h"
+
+namespace cvcp {
+
+namespace {
+
+Status ValidateConfig(const ExternalEvalConfig& config) {
+  if (!(config.supervision_fraction > 0.0) ||
+      config.supervision_fraction > 1.0) {
+    return Status::InvalidArgument("supervision_fraction must be in (0, 1]");
+  }
+  if (config.protocol == ExternalProtocol::kHoldout &&
+      (!(config.holdout_fraction > 0.0) || config.holdout_fraction >= 1.0)) {
+    return Status::InvalidArgument("holdout_fraction must be in (0, 1)");
+  }
+  if (config.protocol == ExternalProtocol::kNFoldCv && config.n_folds < 2) {
+    return Status::InvalidArgument("n_folds must be >= 2");
+  }
+  return Status::OK();
+}
+
+/// Clusters the whole dataset with supervision from `supervised_objects`
+/// and scores the objects where `score_mask` is true (nullptr = all).
+Result<double> ClusterAndScore(const Dataset& data,
+                               const SemiSupervisedClusterer& clusterer,
+                               int param,
+                               const std::vector<size_t>& supervised_objects,
+                               const std::vector<bool>* exclude, Rng* rng) {
+  Supervision supervision =
+      Supervision::FromLabels(data, supervised_objects);
+  Rng run_rng = rng->Fork(0xE7A1ULL);
+  CVCP_ASSIGN_OR_RETURN(Clustering clustering,
+                        clusterer.Cluster(data, supervision, param, &run_rng));
+  return OverallFMeasure(data.labels(), clustering, exclude);
+}
+
+}  // namespace
+
+const char* ExternalProtocolName(ExternalProtocol protocol) {
+  switch (protocol) {
+    case ExternalProtocol::kUseAllData:
+      return "use-all-data";
+    case ExternalProtocol::kSetAside:
+      return "set-aside";
+    case ExternalProtocol::kHoldout:
+      return "holdout";
+    case ExternalProtocol::kNFoldCv:
+      return "n-fold-cv";
+  }
+  return "unknown";
+}
+
+Result<ExternalEvalResult> EvaluateWithProtocol(
+    const Dataset& data, const SemiSupervisedClusterer& clusterer, int param,
+    const ExternalEvalConfig& config, Rng* rng) {
+  CVCP_RETURN_IF_ERROR(ValidateConfig(config));
+  if (!data.has_labels()) {
+    return Status::FailedPrecondition("dataset has no ground-truth labels");
+  }
+  const size_t n = data.size();
+  ExternalEvalResult out;
+
+  switch (config.protocol) {
+    case ExternalProtocol::kUseAllData: {
+      CVCP_ASSIGN_OR_RETURN(
+          std::vector<size_t> supervised,
+          SampleLabeledObjects(data, config.supervision_fraction, rng));
+      CVCP_ASSIGN_OR_RETURN(out.overall_f,
+                            ClusterAndScore(data, clusterer, param, supervised,
+                                            /*exclude=*/nullptr, rng));
+      out.scored_objects = n;
+      return out;
+    }
+    case ExternalProtocol::kSetAside: {
+      CVCP_ASSIGN_OR_RETURN(
+          std::vector<size_t> supervised,
+          SampleLabeledObjects(data, config.supervision_fraction, rng));
+      std::vector<bool> exclude(n, false);
+      for (size_t o : supervised) exclude[o] = true;
+      CVCP_ASSIGN_OR_RETURN(out.overall_f,
+                            ClusterAndScore(data, clusterer, param, supervised,
+                                            &exclude, rng));
+      out.scored_objects = n - supervised.size();
+      return out;
+    }
+    case ExternalProtocol::kHoldout: {
+      // Test objects are reserved first; supervision comes only from the
+      // remaining (train) objects.
+      std::vector<size_t> perm = rng->Permutation(n);
+      const size_t test_size = std::max<size_t>(
+          1, static_cast<size_t>(std::lround(config.holdout_fraction *
+                                             static_cast<double>(n))));
+      std::vector<bool> is_test(n, false);
+      for (size_t i = 0; i < test_size; ++i) is_test[perm[i]] = true;
+      std::vector<size_t> train_objects;
+      for (size_t o = 0; o < n; ++o) {
+        if (!is_test[o]) train_objects.push_back(o);
+      }
+      size_t k = static_cast<size_t>(
+          std::lround(config.supervision_fraction * static_cast<double>(n)));
+      k = std::clamp<size_t>(k, 2, train_objects.size());
+      std::vector<size_t> supervised = rng->SampleFrom(train_objects, k);
+      std::sort(supervised.begin(), supervised.end());
+      // Score only the held-out objects.
+      std::vector<bool> exclude(n, false);
+      for (size_t o = 0; o < n; ++o) exclude[o] = !is_test[o];
+      CVCP_ASSIGN_OR_RETURN(out.overall_f,
+                            ClusterAndScore(data, clusterer, param, supervised,
+                                            &exclude, rng));
+      out.scored_objects = test_size;
+      return out;
+    }
+    case ExternalProtocol::kNFoldCv: {
+      std::vector<size_t> perm = rng->Permutation(n);
+      const size_t folds = static_cast<size_t>(config.n_folds);
+      double sum = 0.0;
+      size_t valid = 0;
+      for (size_t f = 0; f < folds; ++f) {
+        std::vector<bool> is_test(n, false);
+        std::vector<size_t> train_objects;
+        for (size_t i = 0; i < n; ++i) {
+          if (i % folds == f) {
+            is_test[perm[i]] = true;
+          } else {
+            train_objects.push_back(perm[i]);
+          }
+        }
+        std::sort(train_objects.begin(), train_objects.end());
+        size_t k = static_cast<size_t>(std::lround(
+            config.supervision_fraction * static_cast<double>(n)));
+        k = std::clamp<size_t>(k, 2, train_objects.size());
+        Rng fold_rng = rng->Fork(f);
+        std::vector<size_t> supervised = fold_rng.SampleFrom(train_objects, k);
+        std::sort(supervised.begin(), supervised.end());
+        std::vector<bool> exclude(n, false);
+        size_t scored = 0;
+        for (size_t o = 0; o < n; ++o) {
+          exclude[o] = !is_test[o];
+          if (is_test[o]) ++scored;
+        }
+        auto f_value = ClusterAndScore(data, clusterer, param, supervised,
+                                       &exclude, &fold_rng);
+        if (!f_value.ok()) return f_value.status();
+        if (!std::isnan(f_value.value())) {
+          sum += f_value.value();
+          ++valid;
+          out.scored_objects += scored;
+        }
+      }
+      out.overall_f = valid > 0
+                          ? sum / static_cast<double>(valid)
+                          : std::numeric_limits<double>::quiet_NaN();
+      return out;
+    }
+  }
+  return Status::Internal("unreachable protocol");
+}
+
+}  // namespace cvcp

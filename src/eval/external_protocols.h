@@ -1,0 +1,76 @@
+#ifndef CVCP_EVAL_EXTERNAL_PROTOCOLS_H_
+#define CVCP_EVAL_EXTERNAL_PROTOCOLS_H_
+
+/// \file
+/// The paper's §2 taxonomy of *external* evaluation setups for
+/// semi-supervised clustering — how to score a result against ground truth
+/// without letting the supervision contaminate the assessment:
+///
+///   1. kUseAllData — naive: score every object, including the ones whose
+///      labels/constraints the algorithm was trained with. Biased; the
+///      paper lists it only to warn against it.
+///   2. kSetAside   — drop the supervision-involved objects from the
+///      external index (what the paper's own experiments use, §4.1).
+///   3. kHoldout    — split objects into train/test once; supervision is
+///      drawn from the train side only; score only the test side. Sound
+///      but wastes unsupervised training objects.
+///   4. kNFoldCv    — n-fold version of holdout: supervision from n-1
+///      folds, score the held-out fold, rotate, average.
+///
+/// These wrap the Overall F-Measure so benches/tests can quantify the bias
+/// the naive setup introduces.
+
+#include <vector>
+
+#include "cluster/clustering.h"
+#include "common/dataset.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/clusterer.h"
+#include "core/supervision.h"
+
+namespace cvcp {
+
+/// External-evaluation setup (paper §2).
+enum class ExternalProtocol {
+  kUseAllData,
+  kSetAside,
+  kHoldout,
+  kNFoldCv,
+};
+
+/// Returns a stable display name ("use-all-data", ...).
+const char* ExternalProtocolName(ExternalProtocol protocol);
+
+/// Configuration for the protocols that split objects.
+struct ExternalEvalConfig {
+  ExternalProtocol protocol = ExternalProtocol::kSetAside;
+  /// Fraction of objects labeled for the supervision (oracle side).
+  double supervision_fraction = 0.10;
+  /// kHoldout: fraction of objects reserved for evaluation.
+  double holdout_fraction = 0.3;
+  /// kNFoldCv: number of folds.
+  int n_folds = 5;
+};
+
+/// Outcome of one protocol run.
+struct ExternalEvalResult {
+  /// Overall F-Measure under the protocol's scoring rule (mean over folds
+  /// for kNFoldCv).
+  double overall_f = 0.0;
+  /// Objects actually scored (summed over folds for kNFoldCv).
+  size_t scored_objects = 0;
+};
+
+/// Runs one external evaluation of `clusterer` at `param` on labeled data:
+/// samples supervision per the protocol, clusters the full dataset, and
+/// scores against ground truth per the protocol's rule. Deterministic in
+/// *rng. Errors with kInvalidArgument for malformed config and
+/// kFailedPrecondition for unlabeled data.
+Result<ExternalEvalResult> EvaluateWithProtocol(
+    const Dataset& data, const SemiSupervisedClusterer& clusterer, int param,
+    const ExternalEvalConfig& config, Rng* rng);
+
+}  // namespace cvcp
+
+#endif  // CVCP_EVAL_EXTERNAL_PROTOCOLS_H_

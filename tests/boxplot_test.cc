@@ -1,0 +1,72 @@
+#include "eval/boxplot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvcp {
+namespace {
+
+TEST(BoxplotStatsTest, FiveNumberSummary) {
+  BoxplotStats s = BoxplotStats::FromSamples({1, 2, 3, 4, 5, 6, 7, 8, 9});
+  EXPECT_EQ(s.n, 9u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_TRUE(s.outliers.empty());
+  EXPECT_DOUBLE_EQ(s.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(s.whisker_high, 9.0);
+}
+
+TEST(BoxplotStatsTest, OutlierDetection) {
+  // IQR fences at 1.5 IQR: 100 is an outlier of {1..9, 100}.
+  BoxplotStats s =
+      BoxplotStats::FromSamples({1, 2, 3, 4, 5, 6, 7, 8, 9, 100});
+  ASSERT_EQ(s.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.outliers[0], 100.0);
+  EXPECT_DOUBLE_EQ(s.whisker_high, 9.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+}
+
+TEST(BoxplotStatsTest, EmptySampleIsNaN) {
+  BoxplotStats s = BoxplotStats::FromSamples({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_TRUE(std::isnan(s.median));
+}
+
+TEST(BoxplotStatsTest, SingleValue) {
+  BoxplotStats s = BoxplotStats::FromSamples({0.7});
+  EXPECT_DOUBLE_EQ(s.min, 0.7);
+  EXPECT_DOUBLE_EQ(s.median, 0.7);
+  EXPECT_DOUBLE_EQ(s.max, 0.7);
+  EXPECT_TRUE(s.outliers.empty());
+}
+
+TEST(RenderBoxplotsTest, ContainsLabelsAndGlyphs) {
+  std::vector<LabeledBox> boxes = {
+      {"CVCP-10", BoxplotStats::FromSamples({0.7, 0.75, 0.8, 0.85, 0.9})},
+      {"Exp-10", BoxplotStats::FromSamples({0.6, 0.65, 0.7, 0.72, 0.74})},
+  };
+  const std::string out = RenderBoxplots(boxes, 0.5, 1.0, 40);
+  EXPECT_NE(out.find("CVCP-10"), std::string::npos);
+  EXPECT_NE(out.find("Exp-10"), std::string::npos);
+  EXPECT_NE(out.find('['), std::string::npos);
+  EXPECT_NE(out.find(']'), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("med="), std::string::npos);
+}
+
+TEST(RenderBoxplotsTest, EmptyBoxRendersBlank) {
+  std::vector<LabeledBox> boxes = {{"empty", BoxplotStats::FromSamples({})}};
+  const std::string out = RenderBoxplots(boxes, 0.0, 1.0, 30);
+  EXPECT_NE(out.find("empty"), std::string::npos);
+  // The box line itself (everything before the legend) has no glyphs.
+  const std::string box_line = out.substr(0, out.find('\n'));
+  EXPECT_EQ(box_line.find('#'), std::string::npos);
+  EXPECT_EQ(box_line.find('['), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cvcp

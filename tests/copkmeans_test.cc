@@ -1,0 +1,120 @@
+#include "cluster/copkmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "eval/external_measures.h"
+
+namespace cvcp {
+namespace {
+
+TEST(CopKMeansTest, BehavesLikeKMeansWithoutConstraints) {
+  Rng rng(1);
+  Dataset data = MakeBlobs("blobs", 3, 25, 2, 30.0, 0.5, &rng);
+  CopKMeansConfig config;
+  config.k = 3;
+  auto result = RunCopKMeans(data.points(), ConstraintSet{}, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(AdjustedRandIndex(data.labels(), result->clustering), 0.99);
+}
+
+TEST(CopKMeansTest, HardConstraintsAlwaysSatisfied) {
+  Rng rng(2);
+  Dataset data = MakeBlobs("blobs", 3, 20, 2, 8.0, 2.0, &rng);  // overlapping
+  std::vector<size_t> objects;
+  for (size_t i = 0; i < data.size(); i += 4) objects.push_back(i);
+  ConstraintSet constraints =
+      ConstraintSet::FromLabels(data.labels(), objects);
+  CopKMeansConfig config;
+  config.k = 3;
+  auto result = RunCopKMeans(data.points(), constraints, config, &rng);
+  ASSERT_TRUE(result.ok());
+  for (const Constraint& c : constraints.all()) {
+    const bool together = result->clustering.SameCluster(c.a, c.b);
+    if (c.type == ConstraintType::kMustLink) {
+      EXPECT_TRUE(together) << ConstraintToString(c);
+    } else {
+      EXPECT_FALSE(together) << ConstraintToString(c);
+    }
+  }
+}
+
+TEST(CopKMeansTest, MustLinkComponentsMoveAtomically) {
+  Rng rng(3);
+  Dataset data = MakeBlobs("blobs", 2, 15, 2, 20.0, 1.0, &rng);
+  ConstraintSet constraints;
+  // Chain three objects of class 0 with one of class 1: they must all land
+  // in the same cluster regardless.
+  auto c0 = data.ObjectsOfClass(0);
+  auto c1 = data.ObjectsOfClass(1);
+  ASSERT_TRUE(constraints.AddMustLink(c0[0], c0[1]).ok());
+  ASSERT_TRUE(constraints.AddMustLink(c0[1], c1[0]).ok());
+  CopKMeansConfig config;
+  config.k = 2;
+  auto result = RunCopKMeans(data.points(), constraints, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->clustering.SameCluster(c0[0], c0[1]));
+  EXPECT_TRUE(result->clustering.SameCluster(c0[1], c1[0]));
+}
+
+TEST(CopKMeansTest, InfeasibleWhenCannotLinksExceedK) {
+  // 3 mutually cannot-linked objects cannot fit in 2 clusters.
+  Rng rng(4);
+  Matrix points = Matrix::FromRows({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  ConstraintSet constraints;
+  ASSERT_TRUE(constraints.AddCannotLink(0, 1).ok());
+  ASSERT_TRUE(constraints.AddCannotLink(1, 2).ok());
+  ASSERT_TRUE(constraints.AddCannotLink(0, 2).ok());
+  CopKMeansConfig config;
+  config.k = 2;
+  config.max_restarts = 3;
+  auto result = RunCopKMeans(points, constraints, config, &rng);
+  EXPECT_EQ(result.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(CopKMeansTest, FeasibleWithEnoughClusters) {
+  Rng rng(5);
+  Matrix points = Matrix::FromRows({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  ConstraintSet constraints;
+  ASSERT_TRUE(constraints.AddCannotLink(0, 1).ok());
+  ASSERT_TRUE(constraints.AddCannotLink(1, 2).ok());
+  ASSERT_TRUE(constraints.AddCannotLink(0, 2).ok());
+  CopKMeansConfig config;
+  config.k = 3;
+  auto result = RunCopKMeans(points, constraints, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->clustering.SameCluster(0, 1));
+  EXPECT_FALSE(result->clustering.SameCluster(1, 2));
+  EXPECT_FALSE(result->clustering.SameCluster(0, 2));
+}
+
+TEST(CopKMeansTest, InconsistentConstraintsRejected) {
+  Rng rng(6);
+  Matrix points = Matrix::FromRows({{0, 0}, {1, 0}, {2, 0}});
+  ConstraintSet bad;
+  ASSERT_TRUE(bad.AddMustLink(0, 1).ok());
+  ASSERT_TRUE(bad.AddMustLink(1, 2).ok());
+  ASSERT_TRUE(bad.AddCannotLink(0, 2).ok());
+  CopKMeansConfig config;
+  config.k = 2;
+  auto result = RunCopKMeans(points, bad, config, &rng);
+  EXPECT_EQ(result.status().code(), StatusCode::kInconsistentConstraints);
+}
+
+TEST(CopKMeansTest, RejectsInvalidArguments) {
+  Rng rng(7);
+  Matrix points = Matrix::FromRows({{0, 0}, {1, 1}});
+  CopKMeansConfig config;
+  config.k = 0;
+  EXPECT_FALSE(RunCopKMeans(points, ConstraintSet{}, config, &rng).ok());
+  config.k = 3;
+  EXPECT_FALSE(RunCopKMeans(points, ConstraintSet{}, config, &rng).ok());
+  config.k = 2;
+  ConstraintSet oob;
+  ASSERT_TRUE(oob.AddCannotLink(0, 5).ok());
+  EXPECT_FALSE(RunCopKMeans(points, oob, config, &rng).ok());
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -1,0 +1,125 @@
+#include "core/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "constraints/oracle.h"
+#include "data/generators.h"
+
+namespace cvcp {
+namespace {
+
+Dataset EasyData(uint64_t seed = 1) {
+  Rng rng(seed);
+  return MakeBlobs("easy", 3, 25, 2, 25.0, 0.8, &rng);
+}
+
+TEST(MakeSupervisionFoldsTest, DispatchesByKind) {
+  Dataset data = EasyData();
+  Rng rng(2);
+  // Scenario I.
+  auto labeled = SampleLabeledObjects(data, 0.3, &rng);
+  ASSERT_TRUE(labeled.ok());
+  Supervision by_labels = Supervision::FromLabels(data, labeled.value());
+  auto folds_l = MakeSupervisionFolds(data, by_labels, {.n_folds = 4}, &rng);
+  ASSERT_TRUE(folds_l.ok());
+  EXPECT_EQ(folds_l->size(), 4u);
+  EXPECT_FALSE((*folds_l)[0].train_labels.empty());
+
+  // Scenario II.
+  auto pool = BuildConstraintPool(data, 0.2, &rng);
+  ASSERT_TRUE(pool.ok());
+  Supervision by_constraints = Supervision::FromConstraints(pool.value());
+  auto folds_c =
+      MakeSupervisionFolds(data, by_constraints, {.n_folds = 4}, &rng);
+  ASSERT_TRUE(folds_c.ok());
+  EXPECT_EQ(folds_c->size(), 4u);
+  EXPECT_TRUE((*folds_c)[0].train_labels.empty());
+}
+
+TEST(ScoreParamOnFoldsTest, GoodParamScoresHighOnEasyData) {
+  Dataset data = EasyData();
+  Rng rng(3);
+  auto labeled = SampleLabeledObjects(data, 0.3, &rng);
+  ASSERT_TRUE(labeled.ok());
+  Supervision supervision = Supervision::FromLabels(data, labeled.value());
+  auto folds = MakeSupervisionFolds(data, supervision, {.n_folds = 5}, &rng);
+  ASSERT_TRUE(folds.ok());
+
+  MpckMeansClusterer clusterer;
+  auto score = ScoreParamOnFolds(data, *folds, supervision.kind(), clusterer,
+                                 /*param=*/3, &rng);
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(score->fold_scores.size(), 5u);
+  EXPECT_EQ(score->valid_folds, 5);
+  EXPECT_GT(score->mean_f, 0.9);
+}
+
+TEST(ScoreParamOnFoldsTest, BadParamScoresLower) {
+  Dataset data = EasyData();
+  Rng rng(4);
+  auto labeled = SampleLabeledObjects(data, 0.3, &rng);
+  ASSERT_TRUE(labeled.ok());
+  Supervision supervision = Supervision::FromLabels(data, labeled.value());
+  auto folds = MakeSupervisionFolds(data, supervision, {.n_folds = 5}, &rng);
+  ASSERT_TRUE(folds.ok());
+
+  MpckMeansClusterer clusterer;
+  Rng rng_good(5), rng_bad(5);
+  auto good = ScoreParamOnFolds(data, *folds, supervision.kind(), clusterer,
+                                3, &rng_good);
+  auto bad = ScoreParamOnFolds(data, *folds, supervision.kind(), clusterer,
+                               10, &rng_bad);
+  ASSERT_TRUE(good.ok());
+  ASSERT_TRUE(bad.ok());
+  EXPECT_GT(good->mean_f, bad->mean_f);
+}
+
+TEST(ScoreParamOnFoldsTest, DeterministicGivenSameRngSeed) {
+  Dataset data = EasyData();
+  Rng rng(6);
+  auto labeled = SampleLabeledObjects(data, 0.2, &rng);
+  ASSERT_TRUE(labeled.ok());
+  Supervision supervision = Supervision::FromLabels(data, labeled.value());
+  auto folds = MakeSupervisionFolds(data, supervision, {.n_folds = 3}, &rng);
+  ASSERT_TRUE(folds.ok());
+  MpckMeansClusterer clusterer;
+  Rng a(7), b(7);
+  auto ra =
+      ScoreParamOnFolds(data, *folds, supervision.kind(), clusterer, 3, &a);
+  auto rb =
+      ScoreParamOnFolds(data, *folds, supervision.kind(), clusterer, 3, &b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->fold_scores, rb->fold_scores);
+}
+
+TEST(CrossValidateParamTest, EndToEndConstraintScenario) {
+  Dataset data = EasyData();
+  Rng rng(8);
+  auto pool = BuildConstraintPool(data, 0.25, &rng);
+  ASSERT_TRUE(pool.ok());
+  Supervision supervision = Supervision::FromConstraints(pool.value());
+  FoscOpticsDendClusterer clusterer;
+  auto score = CrossValidateParam(data, supervision, clusterer, /*MinPts=*/4,
+                                  {.n_folds = 4}, &rng);
+  ASSERT_TRUE(score.ok());
+  EXPECT_GE(score->valid_folds, 1);
+  EXPECT_GT(score->mean_f, 0.5);
+}
+
+TEST(CrossValidateParamTest, TooFewObjectsForFoldsErrors) {
+  Dataset data = EasyData();
+  Rng rng(9);
+  Supervision supervision = Supervision::FromLabels(data, {0, 1, 2});
+  MpckMeansClusterer clusterer;
+  auto score =
+      CrossValidateParam(data, supervision, clusterer, 3, {.n_folds = 10},
+                         &rng);
+  EXPECT_EQ(score.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cvcp

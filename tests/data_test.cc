@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cluster/kmeans.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "data/iris.h"
+#include "data/paper_suites.h"
+#include "eval/external_measures.h"
+
+namespace cvcp {
+namespace {
+
+TEST(IrisTest, ShapeAndClasses) {
+  Dataset iris = MakeIris();
+  EXPECT_EQ(iris.size(), 150u);
+  EXPECT_EQ(iris.dims(), 4u);
+  EXPECT_EQ(iris.NumClasses(), 3);
+  EXPECT_EQ(iris.ClassSizes(), (std::vector<size_t>{50, 50, 50}));
+}
+
+TEST(IrisTest, KnownRows) {
+  Dataset iris = MakeIris();
+  // First setosa row.
+  EXPECT_DOUBLE_EQ(iris.points().At(0, 0), 5.1);
+  EXPECT_DOUBLE_EQ(iris.points().At(0, 3), 0.2);
+  // First versicolor row (index 50).
+  EXPECT_DOUBLE_EQ(iris.points().At(50, 0), 7.0);
+  EXPECT_DOUBLE_EQ(iris.points().At(50, 2), 4.7);
+  // First virginica row (index 100).
+  EXPECT_DOUBLE_EQ(iris.points().At(100, 2), 6.0);
+  EXPECT_DOUBLE_EQ(iris.points().At(100, 3), 2.5);
+}
+
+TEST(IrisTest, SetosaIsLinearlySeparableByPetalLength) {
+  Dataset iris = MakeIris();
+  // Classic property: every setosa petal length < every other petal length.
+  double setosa_max = 0.0, others_min = 1e9;
+  for (size_t i = 0; i < 150; ++i) {
+    const double petal = iris.points().At(i, 2);
+    if (iris.label(i) == 0) {
+      setosa_max = std::max(setosa_max, petal);
+    } else {
+      others_min = std::min(others_min, petal);
+    }
+  }
+  EXPECT_LT(setosa_max, others_min);
+}
+
+TEST(IrisTest, VersicolorVirginicaOverlap) {
+  // The two non-setosa classes are not separable by any single attribute:
+  // k-means with k=3 cannot reach a near-perfect ARI.
+  Dataset iris = MakeIris();
+  Rng rng(1);
+  KMeansConfig config;
+  config.k = 3;
+  config.n_init = 10;
+  auto result = RunKMeans(iris.points(), config, &rng);
+  ASSERT_TRUE(result.ok());
+  const double ari = AdjustedRandIndex(iris.labels(), result->clustering);
+  EXPECT_GT(ari, 0.5);
+  EXPECT_LT(ari, 0.95);
+}
+
+TEST(GeneratorTest, GaussianMixtureShapes) {
+  Rng rng(2);
+  std::vector<GaussianClusterSpec> specs(2);
+  specs[0].mean = {0.0, 0.0, 0.0};
+  specs[0].stddevs = {1.0};
+  specs[0].size = 30;
+  specs[1].mean = {10.0, 10.0, 10.0};
+  specs[1].stddevs = {0.5, 1.0, 2.0};
+  specs[1].size = 20;
+  Dataset data = MakeGaussianMixture("gm", specs, &rng);
+  EXPECT_EQ(data.size(), 50u);
+  EXPECT_EQ(data.dims(), 3u);
+  EXPECT_EQ(data.ClassSizes(), (std::vector<size_t>{30, 20}));
+}
+
+TEST(GeneratorTest, BlobsSeparationControlsDifficulty) {
+  Rng rng_far(3), rng_near(3);
+  Dataset far = MakeBlobs("far", 3, 30, 2, 50.0, 1.0, &rng_far);
+  Dataset near = MakeBlobs("near", 3, 30, 2, 2.0, 1.0, &rng_near);
+  Rng km_rng(4);
+  KMeansConfig config;
+  config.k = 3;
+  auto far_result = RunKMeans(far.points(), config, &km_rng);
+  auto near_result = RunKMeans(near.points(), config, &km_rng);
+  ASSERT_TRUE(far_result.ok());
+  ASSERT_TRUE(near_result.ok());
+  EXPECT_GT(AdjustedRandIndex(far.labels(), far_result->clustering),
+            AdjustedRandIndex(near.labels(), near_result->clustering));
+}
+
+TEST(GeneratorTest, TwoMoonsNotLinearlyClusterable) {
+  Rng rng(5);
+  Dataset moons = MakeTwoMoons("moons", 100, 0.05, &rng);
+  EXPECT_EQ(moons.size(), 200u);
+  EXPECT_EQ(moons.NumClasses(), 2);
+  // k-means fails on moons (that is their purpose).
+  Rng km_rng(6);
+  KMeansConfig config;
+  config.k = 2;
+  auto result = RunKMeans(moons.points(), config, &km_rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(AdjustedRandIndex(moons.labels(), result->clustering), 0.7);
+}
+
+TEST(GeneratorTest, RingsRadiiRespected) {
+  Rng rng(7);
+  Dataset rings = MakeRings("rings", {1.0, 5.0}, 50, 0.05, &rng);
+  EXPECT_EQ(rings.size(), 100u);
+  for (size_t i = 0; i < rings.size(); ++i) {
+    const double r = std::hypot(rings.points().At(i, 0),
+                                rings.points().At(i, 1));
+    const double target = rings.label(i) == 0 ? 1.0 : 5.0;
+    EXPECT_NEAR(r, target, 0.5);
+  }
+}
+
+TEST(GeneratorTest, ExpressionProfilesPhaseStructure) {
+  Rng rng(8);
+  Dataset expr =
+      MakeExpressionProfiles("expr", {30, 30}, 20, 1.0, 1.0, 0.01, &rng);
+  EXPECT_EQ(expr.size(), 60u);
+  EXPECT_EQ(expr.dims(), 20u);
+  // With fixed amplitude and near-zero noise, profiles within a class are
+  // nearly parallel: correlation of two same-class rows >> two cross-class.
+  auto row_corr = [&](size_t i, size_t j) {
+    double si = 0, sj = 0, sij = 0, sii = 0, sjj = 0;
+    for (size_t t = 0; t < 20; ++t) {
+      const double a = expr.points().At(i, t);
+      const double b = expr.points().At(j, t);
+      si += a;
+      sj += b;
+      sij += a * b;
+      sii += a * a;
+      sjj += b * b;
+    }
+    const double n = 20.0;
+    const double cov = sij / n - (si / n) * (sj / n);
+    const double va = sii / n - (si / n) * (si / n);
+    const double vb = sjj / n - (sj / n) * (sj / n);
+    return cov / std::sqrt(va * vb);
+  };
+  EXPECT_GT(row_corr(0, 1), 0.9);    // same class
+  EXPECT_LT(row_corr(0, 35), 0.5);   // phase-shifted class
+}
+
+TEST(PaperSuiteTest, AloiCollectionShape) {
+  std::vector<Dataset> aloi = MakeAloiK5Collection(99, 5);
+  ASSERT_EQ(aloi.size(), 5u);
+  std::set<std::string> names;
+  for (const Dataset& d : aloi) {
+    EXPECT_EQ(d.size(), 125u);
+    EXPECT_EQ(d.dims(), 144u);
+    EXPECT_EQ(d.NumClasses(), 5);
+    EXPECT_EQ(d.ClassSizes(), (std::vector<size_t>(5, 25)));
+    names.insert(d.name());
+    // Bounded colour-moment-style features.
+    for (size_t i = 0; i < d.size(); ++i) {
+      for (size_t m = 0; m < d.dims(); ++m) {
+        EXPECT_GE(d.points().At(i, m), 0.0);
+        EXPECT_LE(d.points().At(i, m), 1.0);
+      }
+    }
+  }
+  EXPECT_EQ(names.size(), 5u);  // distinct datasets
+}
+
+TEST(PaperSuiteTest, AloiDeterministicPerIndex) {
+  Dataset a = MakeAloiK5Like(7, 3);
+  Dataset b = MakeAloiK5Like(7, 3);
+  EXPECT_TRUE(a.points() == b.points());
+  Dataset c = MakeAloiK5Like(7, 4);
+  EXPECT_FALSE(a.points() == c.points());
+}
+
+TEST(PaperSuiteTest, SimulatedShapesMatchOriginals) {
+  Dataset wine = MakeWineLike(1);
+  EXPECT_EQ(wine.size(), 178u);
+  EXPECT_EQ(wine.dims(), 13u);
+  EXPECT_EQ(wine.NumClasses(), 3);
+
+  Dataset iono = MakeIonosphereLike(1);
+  EXPECT_EQ(iono.size(), 351u);
+  EXPECT_EQ(iono.dims(), 34u);
+  EXPECT_EQ(iono.NumClasses(), 2);
+  EXPECT_EQ(iono.ClassSizes(), (std::vector<size_t>{225, 126}));
+
+  Dataset ecoli = MakeEcoliLike(1);
+  EXPECT_EQ(ecoli.size(), 336u);
+  EXPECT_EQ(ecoli.dims(), 7u);
+  EXPECT_EQ(ecoli.NumClasses(), 8);
+  EXPECT_EQ(ecoli.ClassSizes(),
+            (std::vector<size_t>{143, 77, 52, 35, 20, 5, 2, 2}));
+
+  Dataset zyeast = MakeZyeastLike(1);
+  EXPECT_EQ(zyeast.size(), 205u);
+  EXPECT_EQ(zyeast.dims(), 20u);
+  EXPECT_EQ(zyeast.NumClasses(), 4);
+}
+
+TEST(PaperSuiteTest, GridsMatchPaper) {
+  EXPECT_EQ(DefaultMinPtsGrid(),
+            (std::vector<int>{3, 6, 9, 12, 15, 18, 21, 24}));
+  std::vector<int> k5 = MakeKGrid(5);
+  EXPECT_EQ(k5.front(), 2);
+  EXPECT_EQ(k5.back(), 10);
+  EXPECT_EQ(MakeKGrid(2).back(), 7);
+  EXPECT_EQ(MakeKGrid(20).back(), 12);  // capped
+}
+
+TEST(PaperSuiteTest, SuiteHasFiveDatasetsInPaperOrder) {
+  std::vector<SuiteEntry> suite = MakePaperSuite(5);
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].data.name(), "Iris");
+  EXPECT_EQ(suite[1].data.name(), "Wine-like");
+  EXPECT_EQ(suite[2].data.name(), "Ionosphere-like");
+  EXPECT_EQ(suite[3].data.name(), "Ecoli-like");
+  EXPECT_EQ(suite[4].data.name(), "Zyeast-like");
+  for (const SuiteEntry& e : suite) {
+    EXPECT_FALSE(e.minpts_grid.empty());
+    EXPECT_FALSE(e.k_grid.empty());
+  }
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -1,0 +1,50 @@
+#include "common/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace cvcp {
+namespace {
+
+Matrix TinyPoints() {
+  return Matrix::FromRows({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+}
+
+TEST(DatasetTest, UnlabeledBasics) {
+  Dataset d("u", TinyPoints());
+  EXPECT_EQ(d.name(), "u");
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.dims(), 2u);
+  EXPECT_FALSE(d.has_labels());
+  EXPECT_EQ(d.NumClasses(), 0);
+}
+
+TEST(DatasetTest, LabeledBasics) {
+  Dataset d("l", TinyPoints(), {0, 1, 1, 2});
+  EXPECT_TRUE(d.has_labels());
+  EXPECT_EQ(d.NumClasses(), 3);
+  EXPECT_EQ(d.label(2), 1);
+  EXPECT_EQ(d.ClassSizes(), (std::vector<size_t>{1, 2, 1}));
+}
+
+TEST(DatasetTest, ObjectsOfClass) {
+  Dataset d("l", TinyPoints(), {0, 1, 1, 0});
+  EXPECT_EQ(d.ObjectsOfClass(0), (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(d.ObjectsOfClass(1), (std::vector<size_t>{1, 2}));
+  EXPECT_TRUE(d.ObjectsOfClass(7).empty());
+}
+
+TEST(DatasetTest, SparseClassIdsCountedByMaxLabel) {
+  // Class ids need not be contiguous; NumClasses = max + 1.
+  Dataset d("s", TinyPoints(), {0, 3, 3, 0});
+  EXPECT_EQ(d.NumClasses(), 4);
+  EXPECT_EQ(d.ClassSizes(), (std::vector<size_t>{2, 0, 0, 2}));
+}
+
+TEST(DatasetTest, DefaultConstructedIsEmpty) {
+  Dataset d;
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_FALSE(d.has_labels());
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -1,0 +1,152 @@
+#include "cluster/dendrogram.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cvcp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Builds a fake OPTICS result directly from an ordering and reachability
+/// values (the dendrogram builder only looks at those two fields).
+OpticsResult FakePlot(std::vector<size_t> order, std::vector<double> reach) {
+  OpticsResult r;
+  r.order = std::move(order);
+  r.reachability = std::move(reach);
+  r.core_distance.assign(r.order.size(), 0.0);
+  return r;
+}
+
+TEST(DendrogramTest, SingleObject) {
+  Dendrogram dg = Dendrogram::FromReachability(FakePlot({0}, {kInf}));
+  EXPECT_EQ(dg.num_objects(), 1u);
+  EXPECT_EQ(dg.num_nodes(), 1u);
+  EXPECT_EQ(dg.root(), 0);
+  EXPECT_TRUE(dg.node(0).is_leaf());
+}
+
+TEST(DendrogramTest, TwoObjects) {
+  Dendrogram dg = Dendrogram::FromReachability(FakePlot({3, 7}, {kInf, 2.0}));
+  EXPECT_EQ(dg.num_nodes(), 3u);
+  const DendrogramNode& root = dg.node(dg.root());
+  EXPECT_FALSE(root.is_leaf());
+  EXPECT_DOUBLE_EQ(root.height, 2.0);
+  EXPECT_EQ(dg.LeafObject(root.left), 3u);
+  EXPECT_EQ(dg.LeafObject(root.right), 7u);
+}
+
+TEST(DendrogramTest, SplitsAtHighestReachabilityFirst) {
+  // Plot: positions 0..3, reachabilities [inf, 1, 9, 1].
+  // Root splits at position 2 (value 9): left = {0,1}, right = {2,3}.
+  Dendrogram dg = Dendrogram::FromReachability(
+      FakePlot({10, 11, 12, 13}, {kInf, 1.0, 9.0, 1.0}));
+  const DendrogramNode& root = dg.node(dg.root());
+  EXPECT_DOUBLE_EQ(root.height, 9.0);
+  const DendrogramNode& left = dg.node(root.left);
+  const DendrogramNode& right = dg.node(root.right);
+  EXPECT_EQ(left.size(), 2u);
+  EXPECT_EQ(right.size(), 2u);
+  EXPECT_DOUBLE_EQ(left.height, 1.0);
+  EXPECT_DOUBLE_EQ(right.height, 1.0);
+  // Members map back to original object ids.
+  auto members = dg.MembersOf(root.left);
+  EXPECT_EQ(std::vector<size_t>(members.begin(), members.end()),
+            (std::vector<size_t>{10, 11}));
+}
+
+TEST(DendrogramTest, NodeCountAndParentsConsistent) {
+  const size_t n = 9;
+  std::vector<size_t> order(n);
+  std::vector<double> reach(n);
+  reach[0] = kInf;
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  for (size_t i = 1; i < n; ++i) reach[i] = static_cast<double>((i * 7) % 5 + 1);
+  Dendrogram dg = Dendrogram::FromReachability(FakePlot(order, reach));
+  EXPECT_EQ(dg.num_nodes(), 2 * n - 1);
+  // Every non-root node's parent must list it as a child; spans must nest.
+  for (size_t id = 0; id < dg.num_nodes(); ++id) {
+    const DendrogramNode& nd = dg.node(static_cast<int>(id));
+    if (static_cast<int>(id) == dg.root()) {
+      EXPECT_EQ(nd.parent, -1);
+      continue;
+    }
+    const DendrogramNode& parent = dg.node(nd.parent);
+    EXPECT_TRUE(parent.left == static_cast<int>(id) ||
+                parent.right == static_cast<int>(id));
+    EXPECT_GE(nd.begin, parent.begin);
+    EXPECT_LE(nd.end, parent.end);
+    if (!nd.is_leaf()) {
+      EXPECT_LE(nd.height, parent.height + 1e-12);
+    }
+  }
+  // Children of every internal node partition its span.
+  for (size_t id = 0; id < dg.num_nodes(); ++id) {
+    const DendrogramNode& nd = dg.node(static_cast<int>(id));
+    if (nd.is_leaf()) continue;
+    const DendrogramNode& l = dg.node(nd.left);
+    const DendrogramNode& r = dg.node(nd.right);
+    EXPECT_EQ(l.begin, nd.begin);
+    EXPECT_EQ(l.end, r.begin);
+    EXPECT_EQ(r.end, nd.end);
+  }
+}
+
+TEST(DendrogramTest, MonotoneHeightsAlongRootPath) {
+  // Heights never increase when descending (split at max guarantees it).
+  std::vector<double> reach = {kInf, 3.0, 8.0, 2.0, 5.0, 1.0};
+  std::vector<size_t> order = {0, 1, 2, 3, 4, 5};
+  Dendrogram dg = Dendrogram::FromReachability(FakePlot(order, reach));
+  for (size_t id = 0; id < dg.num_nodes(); ++id) {
+    const DendrogramNode& nd = dg.node(static_cast<int>(id));
+    if (nd.is_leaf() || nd.parent < 0) continue;
+    EXPECT_LE(nd.height, dg.node(nd.parent).height);
+  }
+}
+
+TEST(DendrogramTest, CutAtSeparatesComponents) {
+  // [inf, 1, 10, 1, 10, 1]: cutting at 5 gives 3 clusters of 2.
+  std::vector<double> reach = {kInf, 1.0, 10.0, 1.0, 10.0, 1.0};
+  std::vector<size_t> order = {5, 4, 3, 2, 1, 0};  // reversed object ids
+  Dendrogram dg = Dendrogram::FromReachability(FakePlot(order, reach));
+  std::vector<int> cut = dg.CutAt(5.0);
+  ASSERT_EQ(cut.size(), 6u);
+  // Pairs (5,4), (3,2), (1,0) together; across pairs separated.
+  EXPECT_EQ(cut[5], cut[4]);
+  EXPECT_EQ(cut[3], cut[2]);
+  EXPECT_EQ(cut[1], cut[0]);
+  std::set<int> distinct(cut.begin(), cut.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(DendrogramTest, CutAboveEverythingGivesOneCluster) {
+  std::vector<double> reach = {kInf, 1.0, 10.0, 1.0};
+  Dendrogram dg =
+      Dendrogram::FromReachability(FakePlot({0, 1, 2, 3}, reach));
+  std::vector<int> cut = dg.CutAt(100.0);
+  std::set<int> distinct(cut.begin(), cut.end());
+  EXPECT_EQ(distinct.size(), 1u);
+}
+
+TEST(DendrogramTest, CutBelowEverythingGivesSingletons) {
+  std::vector<double> reach = {kInf, 1.0, 10.0, 1.0};
+  Dendrogram dg =
+      Dendrogram::FromReachability(FakePlot({0, 1, 2, 3}, reach));
+  std::vector<int> cut = dg.CutAt(0.5);
+  std::set<int> distinct(cut.begin(), cut.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(DendrogramTest, TieBreakIsLeftmost) {
+  // Two equal maxima at positions 1 and 3: split must happen at 1.
+  std::vector<double> reach = {kInf, 7.0, 1.0, 7.0};
+  Dendrogram dg =
+      Dendrogram::FromReachability(FakePlot({0, 1, 2, 3}, reach));
+  const DendrogramNode& root = dg.node(dg.root());
+  EXPECT_EQ(dg.node(root.left).size(), 1u);   // {0}
+  EXPECT_EQ(dg.node(root.right).size(), 3u);  // {1,2,3}
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -1,0 +1,95 @@
+#include "common/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvcp {
+namespace {
+
+const std::vector<double> kA = {0.0, 0.0, 0.0};
+const std::vector<double> kB = {1.0, 2.0, 2.0};
+
+TEST(DistanceTest, Euclidean) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance(kA, kB), 3.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(kA, kA), 0.0);
+}
+
+TEST(DistanceTest, SquaredEuclidean) {
+  EXPECT_DOUBLE_EQ(SquaredEuclideanDistance(kA, kB), 9.0);
+}
+
+TEST(DistanceTest, Manhattan) {
+  EXPECT_DOUBLE_EQ(ManhattanDistance(kA, kB), 5.0);
+}
+
+TEST(DistanceTest, Cosine) {
+  std::vector<double> x = {1.0, 0.0};
+  std::vector<double> y = {0.0, 1.0};
+  std::vector<double> z = {2.0, 0.0};
+  EXPECT_DOUBLE_EQ(CosineDistance(x, y), 1.0);        // orthogonal
+  EXPECT_NEAR(CosineDistance(x, z), 0.0, 1e-12);      // parallel
+  std::vector<double> neg = {-1.0, 0.0};
+  EXPECT_NEAR(CosineDistance(x, neg), 2.0, 1e-12);    // opposite
+}
+
+TEST(DistanceTest, CosineZeroVectorConvention) {
+  std::vector<double> zero = {0.0, 0.0};
+  std::vector<double> x = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(CosineDistance(zero, x), 1.0);
+}
+
+TEST(DistanceTest, WeightedSquaredEuclidean) {
+  std::vector<double> w = {2.0, 0.5, 1.0};
+  // 2*(1)^2 + 0.5*(2)^2 + 1*(2)^2 = 2 + 2 + 4 = 8.
+  EXPECT_DOUBLE_EQ(WeightedSquaredEuclidean(kA, kB, w), 8.0);
+  // All-ones weights reduce to squared Euclidean.
+  std::vector<double> ones = {1.0, 1.0, 1.0};
+  EXPECT_DOUBLE_EQ(WeightedSquaredEuclidean(kA, kB, ones),
+                   SquaredEuclideanDistance(kA, kB));
+}
+
+TEST(DistanceTest, DispatchMatchesDirectCalls) {
+  EXPECT_DOUBLE_EQ(Distance(kA, kB, Metric::kEuclidean),
+                   EuclideanDistance(kA, kB));
+  EXPECT_DOUBLE_EQ(Distance(kA, kB, Metric::kSquaredEuclidean),
+                   SquaredEuclideanDistance(kA, kB));
+  EXPECT_DOUBLE_EQ(Distance(kA, kB, Metric::kManhattan),
+                   ManhattanDistance(kA, kB));
+  EXPECT_DOUBLE_EQ(Distance(kA, kB, Metric::kCosine), CosineDistance(kA, kB));
+}
+
+TEST(DistanceMatrixTest, MatchesDirectComputation) {
+  Matrix points = Matrix::FromRows({{0, 0}, {3, 4}, {6, 8}, {-1, 0}});
+  DistanceMatrix dm = DistanceMatrix::Compute(points, Metric::kEuclidean);
+  EXPECT_EQ(dm.n(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(dm(i, j),
+                       EuclideanDistance(points.Row(i), points.Row(j)))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(DistanceMatrixTest, SymmetricAndZeroDiagonal) {
+  Matrix points = Matrix::FromRows({{1, 2}, {5, 5}, {-3, 0}});
+  DistanceMatrix dm = DistanceMatrix::Compute(points, Metric::kManhattan);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(dm(i, i), 0.0);
+    for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(dm(i, j), dm(j, i));
+  }
+}
+
+TEST(DistanceMatrixTest, TinyInputs) {
+  Matrix one = Matrix::FromRows({{1, 1}});
+  DistanceMatrix dm1 = DistanceMatrix::Compute(one, Metric::kEuclidean);
+  EXPECT_EQ(dm1.n(), 1u);
+  EXPECT_DOUBLE_EQ(dm1(0, 0), 0.0);
+
+  DistanceMatrix dm0 = DistanceMatrix::Compute(Matrix(), Metric::kEuclidean);
+  EXPECT_EQ(dm0.n(), 0u);
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -1,0 +1,163 @@
+#include "eval/external_protocols.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace cvcp {
+namespace {
+
+Dataset EasyData(uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<GaussianClusterSpec> specs(3);
+  specs[0].mean = {0.0, 0.0};
+  specs[1].mean = {20.0, 0.0};
+  specs[2].mean = {0.0, 20.0};
+  for (auto& s : specs) {
+    s.stddevs = {1.0};
+    s.size = 30;
+  }
+  return MakeGaussianMixture("easy", specs, &rng);
+}
+
+TEST(ExternalProtocolsTest, NamesAreStable) {
+  EXPECT_STREQ(ExternalProtocolName(ExternalProtocol::kUseAllData),
+               "use-all-data");
+  EXPECT_STREQ(ExternalProtocolName(ExternalProtocol::kSetAside),
+               "set-aside");
+  EXPECT_STREQ(ExternalProtocolName(ExternalProtocol::kHoldout), "holdout");
+  EXPECT_STREQ(ExternalProtocolName(ExternalProtocol::kNFoldCv),
+               "n-fold-cv");
+}
+
+TEST(ExternalProtocolsTest, AllProtocolsScoreHighOnEasyData) {
+  Dataset data = EasyData();
+  MpckMeansClusterer clusterer;
+  for (ExternalProtocol p :
+       {ExternalProtocol::kUseAllData, ExternalProtocol::kSetAside,
+        ExternalProtocol::kHoldout, ExternalProtocol::kNFoldCv}) {
+    ExternalEvalConfig config;
+    config.protocol = p;
+    config.supervision_fraction = 0.2;
+    Rng rng(7);
+    auto result = EvaluateWithProtocol(data, clusterer, 3, config, &rng);
+    ASSERT_TRUE(result.ok()) << ExternalProtocolName(p);
+    EXPECT_GT(result->overall_f, 0.9) << ExternalProtocolName(p);
+    EXPECT_GT(result->scored_objects, 0u);
+  }
+}
+
+TEST(ExternalProtocolsTest, ScoredObjectCountsMatchSemantics) {
+  Dataset data = EasyData(2);
+  MpckMeansClusterer clusterer;
+  const size_t n = data.size();
+
+  ExternalEvalConfig all;
+  all.protocol = ExternalProtocol::kUseAllData;
+  Rng rng1(3);
+  auto r_all = EvaluateWithProtocol(data, clusterer, 3, all, &rng1);
+  ASSERT_TRUE(r_all.ok());
+  EXPECT_EQ(r_all->scored_objects, n);
+
+  ExternalEvalConfig aside;
+  aside.protocol = ExternalProtocol::kSetAside;
+  aside.supervision_fraction = 0.2;
+  Rng rng2(3);
+  auto r_aside = EvaluateWithProtocol(data, clusterer, 3, aside, &rng2);
+  ASSERT_TRUE(r_aside.ok());
+  EXPECT_EQ(r_aside->scored_objects, n - 18);  // 20% of 90
+
+  ExternalEvalConfig holdout;
+  holdout.protocol = ExternalProtocol::kHoldout;
+  holdout.holdout_fraction = 0.3;
+  Rng rng3(3);
+  auto r_holdout = EvaluateWithProtocol(data, clusterer, 3, holdout, &rng3);
+  ASSERT_TRUE(r_holdout.ok());
+  EXPECT_EQ(r_holdout->scored_objects, 27u);  // 30% of 90
+
+  ExternalEvalConfig cv;
+  cv.protocol = ExternalProtocol::kNFoldCv;
+  cv.n_folds = 5;
+  Rng rng4(3);
+  auto r_cv = EvaluateWithProtocol(data, clusterer, 3, cv, &rng4);
+  ASSERT_TRUE(r_cv.ok());
+  EXPECT_EQ(r_cv->scored_objects, n);  // every object scored exactly once
+}
+
+TEST(ExternalProtocolsTest, NaiveProtocolInflatesOnSupervisionHeavyData) {
+  // With a LOT of supervision, use-all-data scores objects whose pairwise
+  // relations the algorithm was literally told; set-aside cannot. On easy
+  // data both are ~1 anyway, so use an overlapping mixture where the
+  // constraints genuinely help only the supervised objects.
+  Rng data_rng(5);
+  std::vector<GaussianClusterSpec> specs(2);
+  specs[0].mean = {0.0, 0.0};
+  specs[1].mean = {2.5, 0.0};  // heavy overlap
+  for (auto& s : specs) {
+    s.stddevs = {1.2};
+    s.size = 60;
+  }
+  Dataset data = MakeGaussianMixture("overlap", specs, &data_rng);
+  MpckMeansClusterer clusterer;
+
+  double naive_sum = 0.0, aside_sum = 0.0;
+  const int kTrials = 5;
+  for (int t = 0; t < kTrials; ++t) {
+    ExternalEvalConfig config;
+    config.supervision_fraction = 0.5;
+    config.protocol = ExternalProtocol::kUseAllData;
+    Rng rng_a(100 + t);
+    auto naive = EvaluateWithProtocol(data, clusterer, 2, config, &rng_a);
+    ASSERT_TRUE(naive.ok());
+    config.protocol = ExternalProtocol::kSetAside;
+    Rng rng_b(100 + t);
+    auto aside = EvaluateWithProtocol(data, clusterer, 2, config, &rng_b);
+    ASSERT_TRUE(aside.ok());
+    naive_sum += naive->overall_f;
+    aside_sum += aside->overall_f;
+  }
+  // The naive estimate must not be lower; typically it is visibly higher.
+  EXPECT_GE(naive_sum / kTrials, aside_sum / kTrials - 0.02);
+}
+
+TEST(ExternalProtocolsTest, RejectsBadConfigs) {
+  Dataset data = EasyData(6);
+  MpckMeansClusterer clusterer;
+  Rng rng(1);
+  ExternalEvalConfig config;
+  config.supervision_fraction = 0.0;
+  EXPECT_FALSE(EvaluateWithProtocol(data, clusterer, 3, config, &rng).ok());
+  config = {};
+  config.protocol = ExternalProtocol::kHoldout;
+  config.holdout_fraction = 1.0;
+  EXPECT_FALSE(EvaluateWithProtocol(data, clusterer, 3, config, &rng).ok());
+  config = {};
+  config.protocol = ExternalProtocol::kNFoldCv;
+  config.n_folds = 1;
+  EXPECT_FALSE(EvaluateWithProtocol(data, clusterer, 3, config, &rng).ok());
+  Dataset unlabeled("u", Matrix::FromRows({{0, 0}, {1, 1}, {2, 2}}));
+  config = {};
+  EXPECT_EQ(
+      EvaluateWithProtocol(unlabeled, clusterer, 2, config, &rng).status()
+          .code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST(ExternalProtocolsTest, DeterministicGivenSeed) {
+  Dataset data = EasyData(8);
+  MpckMeansClusterer clusterer;
+  ExternalEvalConfig config;
+  config.protocol = ExternalProtocol::kNFoldCv;
+  Rng a(9), b(9);
+  auto ra = EvaluateWithProtocol(data, clusterer, 3, config, &a);
+  auto rb = EvaluateWithProtocol(data, clusterer, 3, config, &b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_DOUBLE_EQ(ra->overall_f, rb->overall_f);
+}
+
+}  // namespace
+}  // namespace cvcp

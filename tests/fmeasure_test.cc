@@ -1,0 +1,118 @@
+#include "core/fmeasure.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvcp {
+namespace {
+
+TEST(FMeasureTest, PerfectClassifier) {
+  Clustering c({0, 0, 1, 1});
+  ConstraintSet test;
+  ASSERT_TRUE(test.AddMustLink(0, 1).ok());
+  ASSERT_TRUE(test.AddMustLink(2, 3).ok());
+  ASSERT_TRUE(test.AddCannotLink(0, 2).ok());
+  ASSERT_TRUE(test.AddCannotLink(1, 3).ok());
+  const ConstraintFMeasure r = EvaluateConstraintClassification(c, test);
+  EXPECT_EQ(r.ml_together, 2u);
+  EXPECT_EQ(r.ml_apart, 0u);
+  EXPECT_EQ(r.cl_apart, 2u);
+  EXPECT_EQ(r.cl_together, 0u);
+  EXPECT_DOUBLE_EQ(r.f_must, 1.0);
+  EXPECT_DOUBLE_EQ(r.f_cannot, 1.0);
+  EXPECT_DOUBLE_EQ(r.average, 1.0);
+}
+
+TEST(FMeasureTest, WorstClassifier) {
+  Clustering c({0, 1, 0, 1});
+  ConstraintSet test;
+  ASSERT_TRUE(test.AddMustLink(0, 1).ok());    // apart -> FN1
+  ASSERT_TRUE(test.AddCannotLink(0, 2).ok());  // together -> FN0
+  const ConstraintFMeasure r = EvaluateConstraintClassification(c, test);
+  EXPECT_DOUBLE_EQ(r.f_must, 0.0);
+  EXPECT_DOUBLE_EQ(r.f_cannot, 0.0);
+  EXPECT_DOUBLE_EQ(r.average, 0.0);
+}
+
+TEST(FMeasureTest, HandComputedMixedCase) {
+  // Clusters: {0,1,2} -> 0, {3,4} -> 1.
+  Clustering c({0, 0, 0, 1, 1});
+  ConstraintSet test;
+  ASSERT_TRUE(test.AddMustLink(0, 1).ok());    // together  TP1
+  ASSERT_TRUE(test.AddMustLink(0, 3).ok());    // apart     FN1
+  ASSERT_TRUE(test.AddCannotLink(1, 2).ok());  // together  FN0
+  ASSERT_TRUE(test.AddCannotLink(2, 3).ok());  // apart     TP0
+  ASSERT_TRUE(test.AddCannotLink(0, 4).ok());  // apart     TP0
+  const ConstraintFMeasure r = EvaluateConstraintClassification(c, test);
+  // Class 1 (must): TP=1, FP=1 (CL together), FN=1.
+  // precision = 1/2, recall = 1/2, F = 1/2.
+  EXPECT_DOUBLE_EQ(r.precision_must, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall_must, 0.5);
+  EXPECT_DOUBLE_EQ(r.f_must, 0.5);
+  // Class 0 (cannot): TP=2 (apart), FP=1 (ML apart), FN=1 (CL together).
+  // precision = 2/3, recall = 2/3, F = 2/3.
+  EXPECT_NEAR(r.precision_cannot, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.recall_cannot, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.f_cannot, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.average, 0.5 * (0.5 + 2.0 / 3.0), 1e-12);
+}
+
+TEST(FMeasureTest, NoisePairsNeverTogether) {
+  Clustering c({0, kNoise, kNoise, 0});
+  ConstraintSet test;
+  ASSERT_TRUE(test.AddMustLink(1, 2).ok());    // both noise -> apart
+  ASSERT_TRUE(test.AddCannotLink(0, 1).ok());  // noise vs clustered -> apart
+  const ConstraintFMeasure r = EvaluateConstraintClassification(c, test);
+  EXPECT_EQ(r.ml_apart, 1u);
+  EXPECT_EQ(r.cl_apart, 1u);
+  EXPECT_DOUBLE_EQ(r.f_must, 0.0);
+  // Cannot-link class: TP=1, FP=1 (the ML pair predicted apart), FN=0.
+  EXPECT_DOUBLE_EQ(r.precision_cannot, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall_cannot, 1.0);
+}
+
+TEST(FMeasureTest, OnlyMustLinksAverageIsMustF) {
+  Clustering c({0, 0, 1});
+  ConstraintSet test;
+  ASSERT_TRUE(test.AddMustLink(0, 1).ok());
+  ASSERT_TRUE(test.AddMustLink(0, 2).ok());
+  const ConstraintFMeasure r = EvaluateConstraintClassification(c, test);
+  EXPECT_TRUE(std::isnan(r.f_cannot));
+  // TP=1, FN=1, FP=0: precision 1, recall 1/2, F = 2/3.
+  EXPECT_NEAR(r.f_must, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(r.average, 2.0 / 3.0, 1e-12);
+}
+
+TEST(FMeasureTest, OnlyCannotLinksAverageIsCannotF) {
+  Clustering c({0, 0, 1});
+  ConstraintSet test;
+  ASSERT_TRUE(test.AddCannotLink(0, 1).ok());  // violated
+  ASSERT_TRUE(test.AddCannotLink(0, 2).ok());  // satisfied
+  const ConstraintFMeasure r = EvaluateConstraintClassification(c, test);
+  EXPECT_TRUE(std::isnan(r.f_must));
+  // TP=1, FN=1, FP=0 -> F = 2/3.
+  EXPECT_NEAR(r.average, 2.0 / 3.0, 1e-12);
+}
+
+TEST(FMeasureTest, EmptyTestFoldIsNaN) {
+  Clustering c({0, 1});
+  const ConstraintFMeasure r =
+      EvaluateConstraintClassification(c, ConstraintSet{});
+  EXPECT_TRUE(std::isnan(r.average));
+}
+
+TEST(FMeasureTest, AllTogetherClusteringMaxesRecallOfMust) {
+  Clustering c({0, 0, 0, 0});
+  ConstraintSet test;
+  ASSERT_TRUE(test.AddMustLink(0, 1).ok());
+  ASSERT_TRUE(test.AddCannotLink(2, 3).ok());
+  const ConstraintFMeasure r = EvaluateConstraintClassification(c, test);
+  EXPECT_DOUBLE_EQ(r.recall_must, 1.0);
+  EXPECT_DOUBLE_EQ(r.precision_must, 0.5);
+  EXPECT_DOUBLE_EQ(r.f_cannot, 0.0);  // no pair predicted apart
+  EXPECT_NEAR(r.average, 0.5 * (2.0 / 3.0 + 0.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace cvcp

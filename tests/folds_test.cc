@@ -1,0 +1,243 @@
+#include "constraints/folds.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "constraints/oracle.h"
+#include "constraints/transitive_closure.h"
+#include "data/generators.h"
+
+namespace cvcp {
+namespace {
+
+std::vector<int> MakeLabels(size_t n, int classes) {
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % classes);
+  return labels;
+}
+
+TEST(LabelFoldsTest, PartitionsObjectsExactly) {
+  Rng rng(1);
+  std::vector<int> labels = MakeLabels(40, 4);
+  std::vector<size_t> objects;
+  for (size_t i = 0; i < 40; i += 2) objects.push_back(i);  // 20 labeled
+
+  auto folds = MakeLabelFolds(objects, labels, 40, {.n_folds = 5}, &rng);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 5u);
+
+  std::multiset<size_t> all_test;
+  for (const FoldSplit& f : *folds) {
+    // Train and test partition the labeled objects.
+    EXPECT_EQ(f.train_objects.size() + f.test_objects.size(), 20u);
+    std::set<size_t> train(f.train_objects.begin(), f.train_objects.end());
+    for (size_t o : f.test_objects) EXPECT_FALSE(train.count(o));
+    for (size_t o : f.test_objects) all_test.insert(o);
+    // Fold sizes within 1 of each other.
+    EXPECT_GE(f.test_objects.size(), 4u);
+    EXPECT_LE(f.test_objects.size(), 4u);
+  }
+  // Every labeled object is in exactly one test fold.
+  EXPECT_EQ(all_test.size(), 20u);
+  EXPECT_EQ(std::set<size_t>(all_test.begin(), all_test.end()).size(), 20u);
+}
+
+TEST(LabelFoldsTest, TrainLabelsMatchTrainObjectsOnly) {
+  Rng rng(2);
+  std::vector<int> labels = MakeLabels(30, 3);
+  std::vector<size_t> objects;
+  for (size_t i = 0; i < 30; ++i) objects.push_back(i);
+  auto folds = MakeLabelFolds(objects, labels, 30, {.n_folds = 3}, &rng);
+  ASSERT_TRUE(folds.ok());
+  for (const FoldSplit& f : *folds) {
+    ASSERT_EQ(f.train_labels.size(), 30u);
+    for (size_t o = 0; o < 30; ++o) {
+      const bool in_train = std::binary_search(f.train_objects.begin(),
+                                               f.train_objects.end(), o);
+      if (in_train) {
+        EXPECT_EQ(f.train_labels[o], labels[o]);
+      } else {
+        EXPECT_EQ(f.train_labels[o], -1);
+      }
+    }
+  }
+}
+
+TEST(LabelFoldsTest, ConstraintsDerivedPerSide) {
+  Rng rng(3);
+  std::vector<int> labels = MakeLabels(12, 2);
+  std::vector<size_t> objects(12);
+  for (size_t i = 0; i < 12; ++i) objects[i] = i;
+  auto folds = MakeLabelFolds(objects, labels, 12, {.n_folds = 4}, &rng);
+  ASSERT_TRUE(folds.ok());
+  for (const FoldSplit& f : *folds) {
+    const size_t tr = f.train_objects.size();
+    const size_t te = f.test_objects.size();
+    EXPECT_EQ(f.train_constraints.size(), tr * (tr - 1) / 2);
+    EXPECT_EQ(f.test_constraints.size(), te * (te - 1) / 2);
+  }
+}
+
+TEST(LabelFoldsTest, StratifiedKeepsClassBalancePerFold) {
+  Rng rng(4);
+  // 4 classes x 10 objects, 5 folds => exactly 2 per class per fold.
+  std::vector<int> labels(40);
+  for (size_t i = 0; i < 40; ++i) labels[i] = static_cast<int>(i / 10);
+  std::vector<size_t> objects(40);
+  for (size_t i = 0; i < 40; ++i) objects[i] = i;
+  auto folds =
+      MakeLabelFolds(objects, labels, 40,
+                     {.n_folds = 5, .stratified = true}, &rng);
+  ASSERT_TRUE(folds.ok());
+  for (const FoldSplit& f : *folds) {
+    std::vector<int> per_class(4, 0);
+    for (size_t o : f.test_objects) per_class[static_cast<size_t>(labels[o])]++;
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(per_class[static_cast<size_t>(c)], 2);
+  }
+}
+
+TEST(LabelFoldsTest, RejectsBadArguments) {
+  Rng rng(5);
+  std::vector<int> labels = MakeLabels(10, 2);
+  std::vector<size_t> objects = {0, 1, 2};
+  EXPECT_FALSE(MakeLabelFolds(objects, labels, 10, {.n_folds = 1}, &rng).ok());
+  EXPECT_FALSE(MakeLabelFolds(objects, labels, 10, {.n_folds = 4}, &rng).ok());
+}
+
+// --- Scenario II ---
+
+ConstraintSet Fig2Constraints() {
+  ConstraintSet cs;
+  CVCP_CHECK(cs.AddMustLink(0, 1).ok());
+  CVCP_CHECK(cs.AddMustLink(2, 3).ok());
+  CVCP_CHECK(cs.AddCannotLink(1, 2).ok());
+  return cs;
+}
+
+TEST(ConstraintFoldsTest, ObjectsPartitionedAndConstraintsCut) {
+  Rng rng(6);
+  ConstraintSet cs = Fig2Constraints();
+  auto folds = MakeConstraintFolds(cs, {.n_folds = 2}, &rng);
+  ASSERT_TRUE(folds.ok());
+  for (const FoldSplit& f : *folds) {
+    std::set<size_t> train(f.train_objects.begin(), f.train_objects.end());
+    std::set<size_t> test(f.test_objects.begin(), f.test_objects.end());
+    // Disjoint cover of the 4 involved objects.
+    EXPECT_EQ(train.size() + test.size(), 4u);
+    for (size_t o : test) EXPECT_FALSE(train.count(o));
+    // No constraint crosses the cut.
+    for (const Constraint& c : f.train_constraints.all()) {
+      EXPECT_TRUE(train.count(c.a) && train.count(c.b))
+          << ConstraintToString(c);
+    }
+    for (const Constraint& c : f.test_constraints.all()) {
+      EXPECT_TRUE(test.count(c.a) && test.count(c.b))
+          << ConstraintToString(c);
+    }
+  }
+}
+
+/// The paper's soundness invariant: the closure of the training constraints
+/// and the closure of the test constraints share no pair — nothing in the
+/// test fold is derivable from the training information.
+void CheckIndependence(const std::vector<FoldSplit>& folds) {
+  for (const FoldSplit& f : folds) {
+    auto train_closure = TransitiveClosure(f.train_constraints);
+    auto test_closure = TransitiveClosure(f.test_constraints);
+    ASSERT_TRUE(train_closure.ok());
+    ASSERT_TRUE(test_closure.ok());
+    for (const Constraint& c : test_closure->all()) {
+      EXPECT_FALSE(train_closure->Lookup(c.a, c.b).has_value())
+          << "leaked pair " << ConstraintToString(c);
+    }
+  }
+}
+
+TEST(ConstraintFoldsTest, IndependencePropertyAcrossRandomInstances) {
+  // Property sweep: random constraint pools from random labeled data.
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed);
+    Dataset data = MakeBlobs("prop", 4, 15, 3, 10.0, 1.0, &rng);
+    auto pool = BuildConstraintPool(data, 0.4, &rng);
+    ASSERT_TRUE(pool.ok());
+    auto sampled = SampleConstraints(pool.value(), 0.5, &rng);
+    ASSERT_TRUE(sampled.ok());
+    auto folds = MakeConstraintFolds(sampled.value(), {.n_folds = 4}, &rng);
+    ASSERT_TRUE(folds.ok());
+    CheckIndependence(*folds);
+  }
+}
+
+TEST(LabelFoldsTest, IndependencePropertyHoldsByConstruction) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed + 100);
+    Dataset data = MakeBlobs("prop", 3, 20, 3, 10.0, 1.0, &rng);
+    auto labeled = SampleLabeledObjects(data, 0.3, &rng);
+    ASSERT_TRUE(labeled.ok());
+    auto folds = MakeLabelFolds(labeled.value(), data.labels(), data.size(),
+                                {.n_folds = 3}, &rng);
+    ASSERT_TRUE(folds.ok());
+    CheckIndependence(*folds);
+  }
+}
+
+TEST(ConstraintFoldsTest, ClosureExtendsBeforeSplitting) {
+  // ML(0,1), ML(1,2): closure adds ML(0,2). With 3 objects and 3 folds each
+  // fold isolates one object, so every fold's constraint sets are empty —
+  // but the split must succeed (3 involved objects >= 3 folds).
+  Rng rng(7);
+  ConstraintSet cs;
+  ASSERT_TRUE(cs.AddMustLink(0, 1).ok());
+  ASSERT_TRUE(cs.AddMustLink(1, 2).ok());
+  auto folds = MakeConstraintFolds(cs, {.n_folds = 3}, &rng);
+  ASSERT_TRUE(folds.ok());
+  for (const FoldSplit& f : *folds) {
+    EXPECT_EQ(f.test_constraints.size(), 0u);
+    EXPECT_EQ(f.train_constraints.size(), 1u);  // the surviving ML pair
+  }
+}
+
+TEST(ConstraintFoldsTest, InconsistentInputRejected) {
+  Rng rng(8);
+  ConstraintSet cs;
+  ASSERT_TRUE(cs.AddMustLink(0, 1).ok());
+  ASSERT_TRUE(cs.AddCannotLink(0, 1).code() ==
+              StatusCode::kInconsistentConstraints);
+  // Build an indirectly inconsistent set instead.
+  ConstraintSet bad;
+  ASSERT_TRUE(bad.AddMustLink(0, 1).ok());
+  ASSERT_TRUE(bad.AddMustLink(1, 2).ok());
+  ASSERT_TRUE(bad.AddCannotLink(0, 2).ok());
+  auto folds = MakeConstraintFolds(bad, {.n_folds = 2}, &rng);
+  EXPECT_EQ(folds.status().code(), StatusCode::kInconsistentConstraints);
+}
+
+TEST(NaiveConstraintFoldsTest, LeaksDerivableInformation) {
+  // With the Fig. 2 constraints closed (7 constraints over 4 objects),
+  // splitting the constraint *list* must eventually put a derivable pair in
+  // the test fold. We check that at least one seed exhibits the leak the
+  // sound splitter provably never has.
+  auto closed = TransitiveClosure(Fig2Constraints());
+  ASSERT_TRUE(closed.ok());
+  bool leak_found = false;
+  for (uint64_t seed = 0; seed < 20 && !leak_found; ++seed) {
+    Rng rng(seed);
+    auto folds = MakeNaiveConstraintFolds(closed.value(), {.n_folds = 3},
+                                          &rng);
+    ASSERT_TRUE(folds.ok());
+    for (const FoldSplit& f : *folds) {
+      auto train_closure = TransitiveClosure(f.train_constraints);
+      if (!train_closure.ok()) continue;
+      for (const Constraint& c : f.test_constraints.all()) {
+        if (train_closure->Lookup(c.a, c.b).has_value()) leak_found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(leak_found);
+}
+
+}  // namespace
+}  // namespace cvcp

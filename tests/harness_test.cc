@@ -1,0 +1,158 @@
+// Tests for the bench harness itself: the §4.1 trial protocol must be
+// deterministic, produce consistent aggregates, and derive the selector
+// quantities (CVCP pick / Expected / Silhouette) from the same external
+// score series.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/paper_suites.h"
+#include "harness/experiment.h"
+#include "harness/options.h"
+
+namespace cvcp::bench {
+namespace {
+
+TrialSpec LabelSpec() {
+  TrialSpec spec;
+  spec.scenario = Scenario::kLabels;
+  spec.level = 0.20;
+  spec.n_folds = 4;
+  spec.grid = {2, 3, 4, 5, 6};
+  spec.with_silhouette = true;
+  return spec;
+}
+
+TEST(RunTrialTest, DeterministicGivenSeed) {
+  Dataset data = MakeAloiK5Like(1, 0);
+  MpckMeansClusterer clusterer;
+  const TrialResult a = RunTrial(data, clusterer, LabelSpec(), 99);
+  const TrialResult b = RunTrial(data, clusterer, LabelSpec(), 99);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.cvcp_param, b.cvcp_param);
+  EXPECT_EQ(a.internal_scores.size(), b.internal_scores.size());
+  for (size_t i = 0; i < a.internal_scores.size(); ++i) {
+    if (std::isnan(a.internal_scores[i])) {
+      EXPECT_TRUE(std::isnan(b.internal_scores[i]));
+    } else {
+      EXPECT_DOUBLE_EQ(a.internal_scores[i], b.internal_scores[i]);
+    }
+    EXPECT_DOUBLE_EQ(a.external_scores[i], b.external_scores[i]);
+  }
+}
+
+TEST(RunTrialTest, SelectorQuantitiesDeriveFromExternalSeries) {
+  Dataset data = MakeAloiK5Like(1, 1);
+  MpckMeansClusterer clusterer;
+  const TrialSpec spec = LabelSpec();
+  const TrialResult t = RunTrial(data, clusterer, spec, 7);
+  ASSERT_TRUE(t.ok);
+  ASSERT_EQ(t.external_scores.size(), spec.grid.size());
+
+  // cvcp_external is the external score at the picked grid value.
+  for (size_t gi = 0; gi < spec.grid.size(); ++gi) {
+    if (spec.grid[gi] == t.cvcp_param) {
+      EXPECT_DOUBLE_EQ(t.cvcp_external, t.external_scores[gi]);
+    }
+  }
+  // expected_external is the NaN-skipping mean.
+  double sum = 0.0;
+  size_t n = 0;
+  for (double v : t.external_scores) {
+    if (!std::isnan(v)) {
+      sum += v;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_NEAR(t.expected_external, sum / n, 1e-12);
+  // Silhouette pick comes from the same series.
+  if (!std::isnan(t.silhouette_external)) {
+    bool found = false;
+    for (size_t gi = 0; gi < spec.grid.size(); ++gi) {
+      if (spec.grid[gi] == t.silhouette_param) {
+        EXPECT_DOUBLE_EQ(t.silhouette_external, t.external_scores[gi]);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(RunTrialTest, FoscSkipsSilhouette) {
+  Dataset data = MakeAloiK5Like(1, 2);
+  FoscOpticsDendClusterer clusterer;
+  TrialSpec spec = LabelSpec();
+  spec.grid = DefaultMinPtsGrid();
+  spec.with_silhouette = false;
+  const TrialResult t = RunTrial(data, clusterer, spec, 3);
+  ASSERT_TRUE(t.ok);
+  EXPECT_TRUE(std::isnan(t.silhouette_external));
+}
+
+TEST(RunExperimentTest, AggregatesMatchTrialValues) {
+  Dataset data = MakeAloiK5Like(1, 3);
+  MpckMeansClusterer clusterer;
+  const CellAggregate agg =
+      RunExperiment(data, clusterer, LabelSpec(), /*trials=*/4, /*seed=*/5);
+  EXPECT_EQ(agg.trials_ok, 4);
+  ASSERT_EQ(agg.cvcp_values.size(), 4u);
+  double sum = 0.0;
+  for (double v : agg.cvcp_values) sum += v;
+  EXPECT_NEAR(agg.cvcp_mean, sum / 4.0, 1e-12);
+  EXPECT_EQ(agg.cvcp_vs_exp.n, 4u);
+}
+
+TEST(RunAloiExperimentTest, PoolsAcrossCollection) {
+  std::vector<Dataset> collection = MakeAloiK5Collection(1, 3);
+  MpckMeansClusterer clusterer;
+  const AloiAggregate agg = RunAloiExperiment(collection, clusterer,
+                                              LabelSpec(), /*trials=*/3,
+                                              /*seed=*/9);
+  EXPECT_EQ(agg.per_dataset.size(), 3u);
+  EXPECT_EQ(agg.pooled.cvcp_values.size(), 9u);  // 3 datasets x 3 trials
+  EXPECT_GE(agg.significant_vs_expected, 0);
+  EXPECT_LE(agg.significant_vs_expected, 3);
+}
+
+TEST(BenchOptionsTest, FlagsOverrideDefaults) {
+  const char* argv[] = {"bench", "--trials", "7", "--aloi", "3",
+                        "--folds", "4", "--seed", "123"};
+  const BenchOptions o =
+      ParseBenchOptions(9, const_cast<char**>(argv));
+  EXPECT_EQ(o.trials, 7);
+  EXPECT_EQ(o.aloi_datasets, 3u);
+  EXPECT_EQ(o.n_folds, 4);
+  EXPECT_EQ(o.seed, 123u);
+}
+
+TEST(BenchOptionsTest, PaperFlagRestoresPaperScale) {
+  const char* argv[] = {"bench", "--paper"};
+  const BenchOptions o = ParseBenchOptions(2, const_cast<char**>(argv));
+  EXPECT_EQ(o.trials, 50);
+  EXPECT_EQ(o.aloi_datasets, 100u);
+  EXPECT_EQ(o.n_folds, 10);
+}
+
+TEST(BenchOptionsTest, ClampsDegenerateValues) {
+  const char* argv[] = {"bench", "--trials", "1", "--folds", "0"};
+  const BenchOptions o = ParseBenchOptions(5, const_cast<char**>(argv));
+  EXPECT_GE(o.trials, 2);
+  EXPECT_GE(o.n_folds, 2);
+}
+
+TEST(FormattersTest, MeanStdAndSigMarker) {
+  EXPECT_EQ(FormatMeanStd(0.7489, 0.0531), "0.7489 ±0.0531");
+  EXPECT_EQ(FormatMeanStd(std::nan(""), 0.0), "—");
+  PairedTTestResult sig;
+  sig.p_value = 0.01;
+  PairedTTestResult notsig;
+  notsig.p_value = 0.2;
+  EXPECT_EQ(SigMarker(sig), "*");
+  EXPECT_EQ(SigMarker(notsig), "");
+}
+
+}  // namespace
+}  // namespace cvcp::bench

@@ -1,0 +1,142 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "eval/external_measures.h"
+
+namespace cvcp {
+namespace {
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng rng(1);
+  Dataset data = MakeBlobs("blobs", 3, 30, 2, 30.0, 0.5, &rng);
+  KMeansConfig config;
+  config.k = 3;
+  auto result = RunKMeans(data.points(), config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.NumClusters(), 3);
+  // Perfect recovery expected at this separation.
+  const double ari = AdjustedRandIndex(data.labels(), result->clustering);
+  EXPECT_GT(ari, 0.99);
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithK) {
+  Rng rng(2);
+  Dataset data = MakeBlobs("blobs", 4, 25, 3, 15.0, 1.5, &rng);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= 6; ++k) {
+    KMeansConfig config;
+    config.k = k;
+    config.n_init = 5;
+    Rng run_rng(3);
+    auto result = RunKMeans(data.points(), config, &run_rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->inertia, prev * 1.0001) << "k=" << k;
+    prev = result->inertia;
+  }
+}
+
+TEST(KMeansTest, KOneAssignsEverythingToOneCluster) {
+  Rng rng(4);
+  Dataset data = MakeBlobs("blobs", 2, 10, 2, 5.0, 1.0, &rng);
+  KMeansConfig config;
+  config.k = 1;
+  auto result = RunKMeans(data.points(), config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.NumClusters(), 1);
+  EXPECT_EQ(result->clustering.NumNoise(), 0u);
+}
+
+TEST(KMeansTest, KEqualsNIsValid) {
+  Rng rng(5);
+  Matrix points = Matrix::FromRows({{0, 0}, {10, 0}, {0, 10}});
+  KMeansConfig config;
+  config.k = 3;
+  auto result = RunKMeans(points, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->clustering.NumClusters(), 3);
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, RejectsInvalidConfigs) {
+  Rng rng(6);
+  Matrix points = Matrix::FromRows({{0, 0}, {1, 1}});
+  KMeansConfig config;
+  config.k = 0;
+  EXPECT_FALSE(RunKMeans(points, config, &rng).ok());
+  config.k = 3;  // more clusters than points
+  EXPECT_FALSE(RunKMeans(points, config, &rng).ok());
+  config.k = 2;
+  config.max_iters = 0;
+  EXPECT_FALSE(RunKMeans(points, config, &rng).ok());
+  config.max_iters = 10;
+  config.n_init = 0;
+  EXPECT_FALSE(RunKMeans(points, config, &rng).ok());
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng data_rng(7);
+  Dataset data = MakeBlobs("blobs", 3, 20, 2, 10.0, 1.0, &data_rng);
+  KMeansConfig config;
+  config.k = 3;
+  Rng a(42), b(42);
+  auto ra = RunKMeans(data.points(), config, &a);
+  auto rb = RunKMeans(data.points(), config, &b);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->clustering.assignment(), rb->clustering.assignment());
+  EXPECT_DOUBLE_EQ(ra->inertia, rb->inertia);
+}
+
+TEST(KMeansPlusPlusTest, CentroidsAreDataPointsAndSpread) {
+  Rng rng(8);
+  Matrix points = Matrix::FromRows(
+      {{0, 0}, {0.1, 0}, {100, 100}, {100.1, 100}, {200, 0}, {200, 0.1}});
+  Matrix centroids = KMeansPlusPlusInit(points, 3, &rng);
+  EXPECT_EQ(centroids.rows(), 3u);
+  // Every centroid must be one of the input points.
+  for (size_t c = 0; c < 3; ++c) {
+    bool found = false;
+    for (size_t i = 0; i < points.rows(); ++i) {
+      if (std::equal(centroids.Row(c).begin(), centroids.Row(c).end(),
+                     points.Row(i).begin())) {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+  // With three far-apart pairs, D^2 seeding picks one from each pair (this
+  // holds deterministically for this geometry across seeds).
+  std::set<int> regions;
+  for (size_t c = 0; c < 3; ++c) {
+    const double x = centroids.Row(c)[0];
+    regions.insert(x < 50 ? 0 : (x < 150 ? 1 : 2));
+  }
+  EXPECT_EQ(regions.size(), 3u);
+}
+
+TEST(KMeansTest, MultipleRestartsNeverWorse) {
+  Rng data_rng(9);
+  Dataset data = MakeBlobs("blobs", 5, 20, 2, 8.0, 1.2, &data_rng);
+  KMeansConfig one;
+  one.k = 5;
+  one.n_init = 1;
+  KMeansConfig many = one;
+  many.n_init = 10;
+  Rng rng_one(10), rng_many(10);
+  auto r1 = RunKMeans(data.points(), one, &rng_one);
+  auto rn = RunKMeans(data.points(), many, &rng_many);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(rn.ok());
+  EXPECT_LE(rn->inertia, r1->inertia * 1.0001);
+}
+
+}  // namespace
+}  // namespace cvcp

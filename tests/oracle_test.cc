@@ -1,0 +1,133 @@
+#include "constraints/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace cvcp {
+namespace {
+
+Dataset TestData(uint64_t seed = 1) {
+  Rng rng(seed);
+  return MakeBlobs("oracle-test", 4, 25, 3, 10.0, 1.0, &rng);  // 100 objects
+}
+
+TEST(SampleLabeledObjectsTest, SizeMatchesFraction) {
+  Dataset data = TestData();
+  Rng rng(2);
+  auto s = SampleLabeledObjects(data, 0.10, &rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 10u);
+  // Sorted, unique, in range.
+  std::set<size_t> uniq(s->begin(), s->end());
+  EXPECT_EQ(uniq.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(s->begin(), s->end()));
+  EXPECT_LT(*s->rbegin(), 100u);
+}
+
+TEST(SampleLabeledObjectsTest, MinimumOfTwo) {
+  Dataset data = TestData();
+  Rng rng(3);
+  auto s = SampleLabeledObjects(data, 0.001, &rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 2u);
+}
+
+TEST(SampleLabeledObjectsTest, FullFraction) {
+  Dataset data = TestData();
+  Rng rng(4);
+  auto s = SampleLabeledObjects(data, 1.0, &rng);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 100u);
+}
+
+TEST(SampleLabeledObjectsTest, RejectsBadInput) {
+  Dataset data = TestData();
+  Rng rng(5);
+  EXPECT_FALSE(SampleLabeledObjects(data, 0.0, &rng).ok());
+  EXPECT_FALSE(SampleLabeledObjects(data, 1.5, &rng).ok());
+  Dataset unlabeled("u", Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}}));
+  EXPECT_EQ(SampleLabeledObjects(unlabeled, 0.5, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BuildConstraintPoolTest, AllPairsAmongPerClassSelection) {
+  Dataset data = TestData();
+  Rng rng(6);
+  // 10% of each class of 25 => ceil(2.5) = 3 per class, 12 objects total,
+  // C(12,2) = 66 constraints.
+  auto pool = BuildConstraintPool(data, 0.10, &rng);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_EQ(pool->size(), 66u);
+  EXPECT_EQ(pool->InvolvedObjects().size(), 12u);
+  // Must-links = 4 classes x C(3,2) = 12; rest cannot-links.
+  EXPECT_EQ(pool->num_must_links(), 12u);
+  EXPECT_EQ(pool->num_cannot_links(), 54u);
+}
+
+TEST(BuildConstraintPoolTest, PoolIsConsistentWithGroundTruth) {
+  Dataset data = TestData();
+  Rng rng(7);
+  auto pool = BuildConstraintPool(data, 0.2, &rng);
+  ASSERT_TRUE(pool.ok());
+  for (const Constraint& c : pool->all()) {
+    const bool same = data.label(c.a) == data.label(c.b);
+    EXPECT_EQ(c.type == ConstraintType::kMustLink, same);
+  }
+}
+
+TEST(SampleConstraintsTest, SubsetOfPool) {
+  Dataset data = TestData();
+  Rng rng(8);
+  auto pool = BuildConstraintPool(data, 0.10, &rng);
+  ASSERT_TRUE(pool.ok());
+  auto sampled = SampleConstraints(pool.value(), 0.5, &rng);
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_EQ(sampled->size(), 33u);  // round(66 * 0.5)
+  for (const Constraint& c : sampled->all()) {
+    EXPECT_EQ(pool->Lookup(c.a, c.b), c.type);
+  }
+}
+
+TEST(SampleConstraintsTest, EdgeFractions) {
+  Dataset data = TestData();
+  Rng rng(9);
+  auto pool = BuildConstraintPool(data, 0.10, &rng);
+  ASSERT_TRUE(pool.ok());
+  auto all = SampleConstraints(pool.value(), 1.0, &rng);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), pool->size());
+  EXPECT_FALSE(SampleConstraints(pool.value(), 0.0, &rng).ok());
+  EXPECT_FALSE(SampleConstraints(pool.value(), 1.0001, &rng).ok());
+}
+
+TEST(SampleConstraintsTest, TinyFractionGivesAtLeastOne) {
+  Dataset data = TestData();
+  Rng rng(10);
+  auto pool = BuildConstraintPool(data, 0.10, &rng);
+  ASSERT_TRUE(pool.ok());
+  auto one = SampleConstraints(pool.value(), 0.001, &rng);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->size(), 1u);
+}
+
+TEST(SampleConstraintsTest, EmptyPoolRejected) {
+  Rng rng(11);
+  EXPECT_FALSE(SampleConstraints(ConstraintSet{}, 0.5, &rng).ok());
+}
+
+TEST(OracleDeterminismTest, SameSeedSameSupervision) {
+  Dataset data = TestData();
+  Rng rng_a(12), rng_b(12);
+  auto a = SampleLabeledObjects(data, 0.2, &rng_a);
+  auto b = SampleLabeledObjects(data, 0.2, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -1,0 +1,130 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace cvcp {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differs = false;
+  for (int i = 0; i < 10 && !differs; ++i) {
+    differs = a.NextUint64() != b.NextUint64();
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, ForkIsStableRegardlessOfParentUse) {
+  Rng a(42);
+  Rng child_before = a.Fork(5);
+  a.NextUint64();
+  a.NextDouble();
+  Rng child_after = a.Fork(5);
+  EXPECT_EQ(child_before.seed(), child_after.seed());
+}
+
+TEST(RngTest, ForkStreamsAreDistinct) {
+  Rng a(42);
+  std::set<uint64_t> seeds;
+  for (uint64_t s = 0; s < 100; ++s) seeds.insert(a.Fork(s).seed());
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(3, 6));
+  EXPECT_EQ(seen, (std::set<int>{3, 4, 5, 6}));
+}
+
+TEST(RngTest, IndexStaysBelowN) {
+  Rng rng(10);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Index(17), 17u);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(11);
+  std::vector<size_t> p = rng.Permutation(50);
+  std::sort(p.begin(), p.end());
+  for (size_t i = 0; i < 50; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(12);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t v : s) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWholePopulation) {
+  Rng rng(13);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(RngTest, SampleFromPool) {
+  Rng rng(14);
+  std::vector<int> pool = {10, 20, 30, 40};
+  std::vector<int> s = rng.SampleFrom(pool, 2);
+  EXPECT_EQ(s.size(), 2u);
+  for (int v : s) {
+    EXPECT_TRUE(std::find(pool.begin(), pool.end(), v) != pool.end());
+  }
+  EXPECT_NE(s[0], s[1]);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyCorrect) {
+  Rng rng(15);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(2.0, 3.0);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, ShuffleKeepsMultiset) {
+  Rng rng(16);
+  std::vector<int> v = {1, 1, 2, 3, 5, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  std::sort(orig.begin(), orig.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(SplitMix64Test, KnownFirstOutputFromZeroState) {
+  // SplitMix64(0) first output is the well-known constant.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(state), 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -1,0 +1,66 @@
+#include "core/selectors.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace cvcp {
+namespace {
+
+TEST(SelectBySilhouetteTest, PicksTrueKOnSeparatedBlobs) {
+  Rng rng(1);
+  Dataset data = MakeBlobs("blobs", 3, 30, 2, 40.0, 0.8, &rng);
+  Supervision supervision = Supervision::FromConstraints(ConstraintSet{});
+  KMeansClusterer clusterer;
+  std::vector<int> grid = {2, 3, 4, 5, 6};
+  auto sel = SelectBySilhouette(data, supervision, clusterer, grid, &rng);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->best_param, 3);
+  EXPECT_GT(sel->best_silhouette, 0.7);
+  EXPECT_EQ(sel->silhouettes.size(), 5u);
+  EXPECT_EQ(sel->best_clustering.NumClusters(), 3);
+}
+
+TEST(SelectBySilhouetteTest, EmptyGridRejected) {
+  Rng rng(2);
+  Dataset data = MakeBlobs("blobs", 2, 10, 2, 10.0, 1.0, &rng);
+  Supervision supervision = Supervision::FromConstraints(ConstraintSet{});
+  KMeansClusterer clusterer;
+  auto sel = SelectBySilhouette(data, supervision, clusterer, {}, &rng);
+  EXPECT_EQ(sel.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SelectBySilhouetteTest, SkipsUndefinedSilhouettes) {
+  Rng rng(3);
+  Dataset data = MakeBlobs("blobs", 2, 15, 2, 20.0, 1.0, &rng);
+  Supervision supervision = Supervision::FromConstraints(ConstraintSet{});
+  KMeansClusterer clusterer;
+  // k=1 yields an undefined silhouette; selection must still succeed.
+  std::vector<int> grid = {1, 2};
+  auto sel = SelectBySilhouette(data, supervision, clusterer, grid, &rng);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel->best_param, 2);
+  EXPECT_TRUE(std::isnan(sel->silhouettes[0]));
+}
+
+TEST(ExpectedQualityTest, MeanOverDefinedEntries) {
+  const double nan = std::nan("");
+  EXPECT_DOUBLE_EQ(ExpectedQuality(std::vector<double>{0.2, 0.4, 0.6}), 0.4);
+  EXPECT_DOUBLE_EQ(ExpectedQuality(std::vector<double>{0.5, nan, 0.7}), 0.6);
+  EXPECT_TRUE(std::isnan(ExpectedQuality(std::vector<double>{nan, nan})));
+  EXPECT_TRUE(std::isnan(ExpectedQuality(std::vector<double>{})));
+}
+
+TEST(OracleIndexTest, MaxWithNaNs) {
+  const double nan = std::nan("");
+  EXPECT_EQ(OracleIndex(std::vector<double>{0.2, 0.9, 0.5}), 1);
+  EXPECT_EQ(OracleIndex(std::vector<double>{nan, 0.1, nan}), 1);
+  EXPECT_EQ(OracleIndex(std::vector<double>{nan, nan}), -1);
+  EXPECT_EQ(OracleIndex(std::vector<double>{}), -1);
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -1,0 +1,103 @@
+#include "cluster/silhouette.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace cvcp {
+namespace {
+
+TEST(SilhouetteTest, HandComputedTwoClusters) {
+  // Points: {0}, {1} in cluster 0; {10}, {11} in cluster 1 (1-d).
+  Matrix points = Matrix::FromRows({{0}, {1}, {10}, {11}});
+  Clustering c({0, 0, 1, 1});
+  // For point 0: a = 1, b = (10+11)/2 = 10.5, s = (10.5-1)/10.5.
+  // Symmetric for the others with b = 9.5 or 10.5.
+  const double s0 = (10.5 - 1.0) / 10.5;
+  const double s1 = (9.5 - 1.0) / 9.5;
+  const double expected = 0.5 * (s0 + s1);
+  EXPECT_NEAR(SilhouetteCoefficient(points, c), expected, 1e-12);
+}
+
+TEST(SilhouetteTest, PerfectSeparationNearOne) {
+  Rng rng(1);
+  Dataset data = MakeBlobs("blobs", 2, 30, 2, 100.0, 0.5, &rng);
+  Clustering c(data.labels());
+  EXPECT_GT(SilhouetteCoefficient(data.points(), c), 0.95);
+}
+
+TEST(SilhouetteTest, RandomAssignmentNearZeroOrNegative) {
+  Rng rng(2);
+  Dataset data = MakeBlobs("blobs", 1, 60, 2, 1.0, 1.0, &rng);
+  std::vector<int> random_assign(60);
+  for (auto& a : random_assign) a = static_cast<int>(rng.Index(3));
+  Clustering c(random_assign);
+  EXPECT_LT(SilhouetteCoefficient(data.points(), c), 0.2);
+}
+
+TEST(SilhouetteTest, UndefinedForSingleCluster) {
+  Matrix points = Matrix::FromRows({{0}, {1}, {2}});
+  Clustering c({0, 0, 0});
+  EXPECT_TRUE(std::isnan(SilhouetteCoefficient(points, c)));
+}
+
+TEST(SilhouetteTest, NoiseIgnored) {
+  Matrix points = Matrix::FromRows({{0}, {1}, {10}, {11}, {500}});
+  Clustering with_noise({0, 0, 1, 1, kNoise});
+  Clustering without({0, 0, 1, 1});
+  Matrix first4 = Matrix::FromRows({{0}, {1}, {10}, {11}});
+  EXPECT_NEAR(SilhouetteCoefficient(points, with_noise),
+              SilhouetteCoefficient(first4, without), 1e-12);
+}
+
+TEST(SilhouetteTest, SingletonClusterContributesZero) {
+  // Cluster 1 is a singleton: s = 0 by convention; it still counts in the
+  // denominator.
+  Matrix points = Matrix::FromRows({{0}, {1}, {100}});
+  Clustering c({0, 0, 1});
+  // Points 0,1: a = 1, b = 100 or 99 -> s ~= 0.99; point 2: s = 0.
+  const double s0 = (100.0 - 1.0) / 100.0;
+  const double s1 = (99.0 - 1.0) / 99.0;
+  EXPECT_NEAR(SilhouetteCoefficient(points, c), (s0 + s1 + 0.0) / 3.0,
+              1e-12);
+}
+
+TEST(SilhouetteTest, DistanceMatrixVariantAgrees) {
+  Rng rng(3);
+  Dataset data = MakeBlobs("blobs", 3, 15, 3, 10.0, 1.0, &rng);
+  Clustering c(data.labels());
+  const double direct = SilhouetteCoefficient(data.points(), c);
+  const double via_dm = SilhouetteCoefficient(
+      DistanceMatrix::Compute(data.points(), Metric::kEuclidean), c);
+  EXPECT_NEAR(direct, via_dm, 1e-12);
+}
+
+TEST(SimplifiedSilhouetteTest, TracksExactOnSeparatedData) {
+  Rng rng(4);
+  std::vector<GaussianClusterSpec> specs(3);
+  specs[0].mean = {0.0, 0.0};
+  specs[1].mean = {50.0, 0.0};
+  specs[2].mean = {0.0, 50.0};
+  for (auto& s : specs) {
+    s.stddevs = {1.0};
+    s.size = 20;
+  }
+  Dataset data = MakeGaussianMixture("separated", specs, &rng);
+  Clustering c(data.labels());
+  const double exact = SilhouetteCoefficient(data.points(), c);
+  const double simplified = SimplifiedSilhouette(data.points(), c);
+  EXPECT_GT(simplified, 0.9);
+  EXPECT_NEAR(simplified, exact, 0.1);
+}
+
+TEST(SimplifiedSilhouetteTest, UndefinedForSingleCluster) {
+  Matrix points = Matrix::FromRows({{0}, {1}});
+  Clustering c({0, 0});
+  EXPECT_TRUE(std::isnan(SimplifiedSilhouette(points, c)));
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -1,0 +1,93 @@
+// A strong joint property of OPTICS + OPTICSDend: with MinPts = 1 every
+// core distance is 0, so reachability(o) = distance to the closest already
+// processed point — the OPTICS walk is Prim's MST construction and the
+// reachability dendrogram is exactly the single-linkage hierarchy. Cutting
+// it at threshold t must therefore reproduce the connected components of
+// the "distance <= t" graph, which we compute by brute force.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/dendrogram.h"
+#include "cluster/optics.h"
+#include "common/rng.h"
+#include "common/union_find.h"
+#include "data/generators.h"
+
+namespace cvcp {
+namespace {
+
+/// Components of the graph with edges {(i,j) : d(i,j) <= t}.
+std::vector<size_t> BruteForceComponents(const Matrix& points, double t) {
+  const size_t n = points.rows();
+  UnionFind uf(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (EuclideanDistance(points.Row(i), points.Row(j)) <= t) {
+        uf.Union(i, j);
+      }
+    }
+  }
+  return uf.ComponentIds();
+}
+
+/// True if two labelings induce the same partition.
+bool SamePartition(const std::vector<size_t>& a, const std::vector<int>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      if ((a[i] == a[j]) != (b[i] == b[j])) return false;
+    }
+  }
+  return true;
+}
+
+class SingleLinkageEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SingleLinkageEquivalence, CutMatchesThresholdGraphComponents) {
+  Rng rng(GetParam());
+  Dataset data = MakeBlobs("sl", 3, 12, 2, 8.0, 1.5, &rng);
+  OpticsConfig config;
+  config.min_pts = 1;
+  auto optics = RunOptics(data.points(), config);
+  ASSERT_TRUE(optics.ok());
+  Dendrogram dg = Dendrogram::FromReachability(optics.value());
+
+  // Check several thresholds, including ones straddling merge heights.
+  for (double t : {0.2, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const std::vector<size_t> brute =
+        BruteForceComponents(data.points(), t);
+    const std::vector<int> cut = dg.CutAt(t);
+    EXPECT_TRUE(SamePartition(brute, cut))
+        << "seed " << GetParam() << " threshold " << t;
+  }
+}
+
+TEST_P(SingleLinkageEquivalence, MergeHeightsAreMstEdgeWeights) {
+  // The multiset of internal-node heights equals the MST edge weights;
+  // in particular the largest merge height equals the largest MST edge,
+  // and cutting just below it yields exactly 2 clusters.
+  Rng rng(GetParam() + 500);
+  Dataset data = MakeBlobs("sl", 2, 10, 2, 12.0, 1.0, &rng);
+  OpticsConfig config;
+  config.min_pts = 1;
+  auto optics = RunOptics(data.points(), config);
+  ASSERT_TRUE(optics.ok());
+  Dendrogram dg = Dendrogram::FromReachability(optics.value());
+  const double top = dg.node(dg.root()).height;
+  std::vector<int> cut = dg.CutAt(top * (1.0 - 1e-9));
+  int clusters = 0;
+  for (int c : cut) clusters = std::max(clusters, c + 1);
+  EXPECT_EQ(clusters, 2);
+  // And the threshold-graph agrees.
+  const std::vector<size_t> brute =
+      BruteForceComponents(data.points(), top * (1.0 - 1e-9));
+  EXPECT_TRUE(SamePartition(brute, cut));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SingleLinkageEquivalence,
+                         ::testing::Range<uint64_t>(0, 8));
+
+}  // namespace
+}  // namespace cvcp

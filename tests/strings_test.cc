@@ -1,0 +1,49 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cvcp {
+namespace {
+
+TEST(FormatTest, BasicSubstitution) {
+  EXPECT_EQ(Format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(Format("%.2f", 1.005), "1.00");
+  EXPECT_EQ(Format("no args"), "no args");
+}
+
+TEST(FormatTest, LongOutput) {
+  std::string long_str(500, 'a');
+  EXPECT_EQ(Format("%s", long_str.c_str()).size(), 500u);
+}
+
+TEST(JoinTest, Basics) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split("a,,c", ',')[1], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("x,", ',').size(), 2u);
+}
+
+TEST(TrimTest, AllWhitespaceKinds) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\na b\r\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(FormatDoubleTest, DigitsAndNaN) {
+  EXPECT_EQ(FormatDouble(0.74891, 4), "0.7489");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(std::nan(""), 4), "—");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -1,0 +1,63 @@
+#include "common/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace cvcp {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumComponents(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.ComponentSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(1, 2));
+  EXPECT_FALSE(uf.Union(0, 2));  // already same
+  EXPECT_EQ(uf.NumComponents(), 3u);
+  EXPECT_TRUE(uf.Same(0, 2));
+  EXPECT_FALSE(uf.Same(0, 3));
+  EXPECT_EQ(uf.ComponentSize(1), 3u);
+}
+
+TEST(UnionFindTest, ComponentIdsAreCompactAndStable) {
+  UnionFind uf(6);
+  uf.Union(4, 5);
+  uf.Union(0, 2);
+  std::vector<size_t> ids = uf.ComponentIds();
+  ASSERT_EQ(ids.size(), 6u);
+  // First-appearance numbering: 0 -> 0, 1 -> 1, 2 -> 0, 3 -> 2, 4/5 -> 3.
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_EQ(ids[4], ids[5]);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 1u);
+  EXPECT_EQ(ids[3], 2u);
+  EXPECT_EQ(ids[4], 3u);
+}
+
+TEST(UnionFindTest, ComponentsGroupMembers) {
+  UnionFind uf(5);
+  uf.Union(0, 3);
+  uf.Union(1, 4);
+  auto comps = uf.Components();
+  ASSERT_EQ(comps.size(), 3u);
+  EXPECT_EQ(comps[0], (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(comps[1], (std::vector<size_t>{1, 4}));
+  EXPECT_EQ(comps[2], (std::vector<size_t>{2}));
+}
+
+TEST(UnionFindTest, ChainCollapsesToOne) {
+  UnionFind uf(100);
+  for (size_t i = 0; i + 1 < 100; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.NumComponents(), 1u);
+  EXPECT_EQ(uf.ComponentSize(0), 100u);
+  EXPECT_TRUE(uf.Same(0, 99));
+}
+
+}  // namespace
+}  // namespace cvcp
