@@ -61,7 +61,7 @@ Result<CopKMeansResult> RunCopKMeans(const Matrix& points,
         Format("k=%d exceeds number of points (%zu)", config.k, n));
   }
   for (const Constraint& c : constraints.all()) {
-    if (c.b >= n) {
+    if (c.a >= n || c.b >= n) {
       return Status::InvalidArgument(
           Format("constraint %s references object beyond dataset size %zu",
                  ConstraintToString(c).c_str(), n));

@@ -375,7 +375,7 @@ Result<MpckMeansResult> RunMpckMeans(const Matrix& points,
     return Status::InvalidArgument("max_iters must be >= 1");
   }
   for (const Constraint& c : constraints.all()) {
-    if (c.b >= points.rows()) {
+    if (c.a >= points.rows() || c.b >= points.rows()) {
       return Status::InvalidArgument(
           Format("constraint %s references object beyond dataset size %zu",
                  ConstraintToString(c).c_str(), points.rows()));

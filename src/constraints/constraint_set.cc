@@ -58,6 +58,7 @@ std::vector<size_t> ConstraintSet::InvolvedObjects() const {
 std::vector<bool> ConstraintSet::InvolvementMask(size_t n) const {
   std::vector<bool> mask(n, false);
   for (const Constraint& c : constraints_) {
+    CVCP_CHECK_LT(c.a, n);
     CVCP_CHECK_LT(c.b, n);
     mask[c.a] = true;
     mask[c.b] = true;
@@ -69,7 +70,9 @@ ConstraintSet ConstraintSet::RestrictedTo(
     std::span<const size_t> objects) const {
   std::vector<bool> keep;
   size_t max_id = 0;
-  for (const Constraint& c : constraints_) max_id = std::max(max_id, c.b);
+  for (const Constraint& c : constraints_) {
+    max_id = std::max({max_id, c.a, c.b});
+  }
   keep.assign(max_id + 1, false);
   for (size_t o : objects) {
     if (o <= max_id) keep[o] = true;

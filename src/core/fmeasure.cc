@@ -30,6 +30,10 @@ ConstraintFMeasure EvaluateConstraintClassification(
     const Clustering& clustering, const ConstraintSet& test_constraints) {
   ConstraintFMeasure r;
   for (const Constraint& c : test_constraints.all()) {
+    // Both endpoints must be validated: endpoints are normalized a < b on
+    // Add(), but Constraint is an aggregate, so a corrupt or hand-built
+    // constraint can violate the invariant and index out of bounds.
+    CVCP_CHECK_LT(c.a, clustering.size());
     CVCP_CHECK_LT(c.b, clustering.size());
     const bool together = clustering.SameCluster(c.a, c.b);
     if (c.type == ConstraintType::kMustLink) {

@@ -67,6 +67,21 @@ TEST(ConstraintSetTest, InvolvementMask) {
   EXPECT_EQ(mask, (std::vector<bool>{false, true, false, true, false}));
 }
 
+// Regression: InvolvementMask must validate both endpoints before indexing.
+// The seed only checked c.b, so an undersized mask was written out of
+// bounds through c.a.
+TEST(ConstraintSetDeathTest, InvolvementMaskRejectsLowEndpointBeyondN) {
+  ConstraintSet cs;
+  ASSERT_TRUE(cs.AddCannotLink(6, 8).ok());  // both endpoints beyond n=2
+  EXPECT_DEATH(cs.InvolvementMask(2), "c\\.a");
+}
+
+TEST(ConstraintSetDeathTest, InvolvementMaskRejectsHighEndpointBeyondN) {
+  ConstraintSet cs;
+  ASSERT_TRUE(cs.AddCannotLink(1, 8).ok());  // only c.b beyond n=4
+  EXPECT_DEATH(cs.InvolvementMask(4), "c\\.b");
+}
+
 TEST(ConstraintSetTest, RestrictedToKeepsFullyInternalPairs) {
   ConstraintSet cs;
   ASSERT_TRUE(cs.AddMustLink(0, 1).ok());
@@ -78,6 +93,17 @@ TEST(ConstraintSetTest, RestrictedToKeepsFullyInternalPairs) {
   EXPECT_EQ(r.Lookup(0, 1), ConstraintType::kMustLink);
   EXPECT_FALSE(r.Lookup(1, 2).has_value());
   EXPECT_FALSE(r.Lookup(3, 4).has_value());
+}
+
+TEST(ConstraintSetTest, RestrictedToIgnoresObjectsBeyondAnyConstraint) {
+  ConstraintSet cs;
+  ASSERT_TRUE(cs.AddMustLink(0, 1).ok());
+  // Object ids beyond every constrained id must be harmless, not an
+  // out-of-bounds write into the keep array.
+  std::vector<size_t> keep = {0, 1, 100};
+  ConstraintSet r = cs.RestrictedTo(keep);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.Lookup(0, 1), ConstraintType::kMustLink);
 }
 
 TEST(ConstraintSetTest, FromLabelsAllPairs) {

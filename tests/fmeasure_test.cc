@@ -114,5 +114,22 @@ TEST(FMeasureTest, AllTogetherClusteringMaxesRecallOfMust) {
   EXPECT_NEAR(r.average, 0.5 * (2.0 / 3.0 + 0.0), 1e-12);
 }
 
+// Regression: both constraint endpoints must be validated against the
+// clustering size. The seed only checked c.b, so a constraint whose low
+// endpoint was out of range indexed out of bounds silently.
+TEST(FMeasureDeathTest, RejectsLowEndpointBeyondClustering) {
+  Clustering c({0, 1});
+  ConstraintSet test;
+  ASSERT_TRUE(test.AddMustLink(5, 7).ok());  // both endpoints out of range
+  EXPECT_DEATH(EvaluateConstraintClassification(c, test), "c\\.a");
+}
+
+TEST(FMeasureDeathTest, RejectsHighEndpointBeyondClustering) {
+  Clustering c({0, 1});
+  ConstraintSet test;
+  ASSERT_TRUE(test.AddMustLink(0, 7).ok());  // only c.b out of range
+  EXPECT_DEATH(EvaluateConstraintClassification(c, test), "c\\.b");
+}
+
 }  // namespace
 }  // namespace cvcp
