@@ -1,19 +1,28 @@
 // Micro-benchmarks (google-benchmark) for the core primitives: constraint
 // closure, fold splitting, OPTICS, k-means, MPCKMeans iterations, FOSC
 // extraction and the constraint F-measure. These track the cost model
-// behind the paper-scale benches.
+// behind the paper-scale benches. Before the google-benchmark suites run,
+// main() prints a serial-vs-parallel CVCP scaling table for the parallel
+// execution engine.
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "cluster/dendrogram.h"
 #include "cluster/fosc.h"
 #include "cluster/kmeans.h"
 #include "cluster/mpckmeans.h"
 #include "cluster/optics.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "constraints/folds.h"
 #include "constraints/oracle.h"
 #include "constraints/transitive_closure.h"
+#include "core/cvcp.h"
 #include "core/fmeasure.h"
 #include "data/generators.h"
 
@@ -125,6 +134,70 @@ void BM_ConstraintFMeasure(benchmark::State& state) {
 }
 BENCHMARK(BM_ConstraintFMeasure)->Arg(25)->Arg(50)->Arg(100);
 
+// Serial-vs-parallel CVCP wall time on the engine's target workload: a
+// 10-fold × 8-value MPCKMeans grid (80 clustering cells per run). Also
+// cross-checks that every thread count selects the same parameter with the
+// same score — the engine's determinism guarantee.
+void PrintCvcpScalingTable() {
+  Dataset data = BenchData(/*per_cluster=*/40, /*k=*/5, /*dims=*/16);
+  Rng rng(23);
+  auto labeled = SampleLabeledObjects(data, 0.3, &rng);
+  CVCP_CHECK(labeled.ok());
+  Supervision supervision = Supervision::FromLabels(data, labeled.value());
+
+  MpckMeansClusterer clusterer;
+  CvcpConfig config;
+  config.cv.n_folds = 10;
+  config.param_grid = {2, 3, 4, 5, 6, 7, 8, 9};
+
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> thread_counts = {1};
+  if (hw >= 2) thread_counts.push_back(2);
+  if (hw > 2) thread_counts.push_back(hw);
+
+  std::printf(
+      "=== CVCP serial vs parallel "
+      "(MPCKMeans, %d-fold x %zu-value grid, n=%zu, %d hardware threads) "
+      "===\n",
+      config.cv.n_folds, config.param_grid.size(), data.size(), hw);
+  std::printf("%-8s %12s %10s %s\n", "threads", "wall_ms", "speedup",
+              "matches serial");
+
+  double serial_ms = 0.0;
+  int serial_best = 0;
+  double serial_score = 0.0;
+  for (int threads : thread_counts) {
+    config.cv.exec.threads = threads;
+    Rng run_rng(29);
+    const auto start = std::chrono::steady_clock::now();
+    auto report = RunCvcp(data, supervision, clusterer, config, &run_rng);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    CVCP_CHECK(report.ok());
+    if (threads == 1) {
+      serial_ms = ms;
+      serial_best = report->best_param;
+      serial_score = report->best_score;
+      std::printf("%-8d %12.1f %9.2fx %s\n", threads, ms, 1.0, "(baseline)");
+    } else {
+      const bool matches = report->best_param == serial_best &&
+                           report->best_score == serial_score;
+      std::printf("%-8d %12.1f %9.2fx %s\n", threads, ms, serial_ms / ms,
+                  matches ? "yes" : "NO — DETERMINISM BUG");
+    }
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  PrintCvcpScalingTable();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

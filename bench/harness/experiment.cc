@@ -1,9 +1,11 @@
 #include "harness/experiment.h"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "cluster/silhouette.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "constraints/oracle.h"
@@ -77,6 +79,7 @@ TrialResult RunTrial(const Dataset& data,
   // 2. CVCP internal scores over the grid.
   CvcpConfig config;
   config.cv.n_folds = spec.n_folds;
+  config.cv.exec = spec.exec;
   config.param_grid = spec.grid;
   Rng cvcp_rng = rng.Fork(2);
   auto report = RunCvcp(data, supervision, clusterer, config, &cvcp_rng);
@@ -97,19 +100,45 @@ TrialResult RunTrial(const Dataset& data,
   Rng sweep_rng = rng.Fork(3);
   out.external_scores.assign(spec.grid.size(), kNaN);
   out.silhouettes.assign(spec.grid.size(), kNaN);
+  // Grid values are independent full-dataset runs; fan them out on the
+  // same engine as the CVCP cells. RNGs are pre-forked in grid order and
+  // each iteration writes only its own slots, so results are identical to
+  // the serial sweep; the first error in grid order wins.
+  std::vector<Rng> run_rngs;
+  run_rngs.reserve(spec.grid.size());
   for (size_t gi = 0; gi < spec.grid.size(); ++gi) {
-    Rng run_rng = sweep_rng.Fork(gi);
+    run_rngs.push_back(sweep_rng.Fork(gi));
+  }
+  std::vector<Status> sweep_errors(spec.grid.size());
+  // Lowest failing grid index; as in ScoreGridOnFolds, ascending index
+  // claiming makes skipping everything above it safe and keeps the
+  // reported error identical to the serial sweep's.
+  std::atomic<size_t> first_error{spec.grid.size()};
+  ParallelFor(spec.exec, spec.grid.size(), [&](size_t gi) {
+    if (gi > first_error.load(std::memory_order_relaxed)) return;
+    Rng run_rng = run_rngs[gi];
     auto clustering =
         clusterer.Cluster(data, supervision, spec.grid[gi], &run_rng);
     if (!clustering.ok()) {
-      out.error = clustering.status().ToString();
-      return out;
+      sweep_errors[gi] = clustering.status();
+      size_t lowest = first_error.load(std::memory_order_relaxed);
+      while (gi < lowest &&
+             !first_error.compare_exchange_weak(lowest, gi,
+                                                std::memory_order_relaxed)) {
+      }
+      return;
     }
     out.external_scores[gi] =
         OverallFMeasure(data.labels(), clustering.value(), &exclude);
     if (spec.with_silhouette) {
       out.silhouettes[gi] =
           SilhouetteCoefficient(data.points(), clustering.value());
+    }
+  });
+  for (const Status& status : sweep_errors) {
+    if (!status.ok()) {
+      out.error = status.ToString();
+      return out;
     }
   }
 

@@ -45,6 +45,9 @@ struct TrialSpec {
   int n_folds = 5;
   /// Also select by silhouette (paper: MPCKMeans only).
   bool with_silhouette = false;
+  /// Parallelism for the CVCP grid×fold cells and the full-supervision
+  /// sweep; any thread count yields identical trial results.
+  ExecutionContext exec;
 };
 
 /// Everything measured in one trial.

@@ -26,6 +26,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   o.n_folds = static_cast<int>(EnvLong("CVCP_FOLDS", o.n_folds));
   o.seed = static_cast<uint64_t>(EnvLong("CVCP_SEED",
                                          static_cast<long>(o.seed)));
+  o.threads = static_cast<int>(EnvLong("CVCP_THREADS", o.threads));
   for (int i = 1; i < argc; ++i) {
     auto next_long = [&](long fallback) {
       return i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : fallback;
@@ -43,11 +44,14 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       o.n_folds = static_cast<int>(next_long(o.n_folds));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       o.seed = static_cast<uint64_t>(next_long(static_cast<long>(o.seed)));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      o.threads = static_cast<int>(next_long(o.threads));
     }
   }
   if (o.trials < 2) o.trials = 2;  // paired t-test needs >= 2
   if (o.n_folds < 2) o.n_folds = 2;
   if (o.aloi_datasets < 1) o.aloi_datasets = 1;
+  if (o.threads < 0) o.threads = 0;  // 0 = all hardware threads
   return o;
 }
 
@@ -56,11 +60,17 @@ void PrintBanner(const BenchOptions& options, const std::string& title,
   std::printf("=== %s ===\n", title.c_str());
   std::printf("reproduces: %s (Pourrajabi et al., EDBT 2014)\n",
               paper_ref.c_str());
+  char threads[32];
+  if (options.threads > 0) {
+    std::snprintf(threads, sizeof(threads), "%d threads", options.threads);
+  } else {
+    std::snprintf(threads, sizeof(threads), "all hardware threads");
+  }
   std::printf(
-      "scale: %d trials, %zu ALOI sets, %d-fold CV, seed %llu "
+      "scale: %d trials, %zu ALOI sets, %d-fold CV, seed %llu, %s "
       "(--paper for full scale)\n\n",
       options.trials, options.aloi_datasets, options.n_folds,
-      static_cast<unsigned long long>(options.seed));
+      static_cast<unsigned long long>(options.seed), threads);
 }
 
 }  // namespace cvcp::bench

@@ -18,10 +18,13 @@ struct BenchOptions {
   std::size_t aloi_datasets = 10;  ///< paper: 100  (env CVCP_ALOI_DATASETS)
   int n_folds = 5;            ///< paper: "typically 10" (env CVCP_FOLDS)
   uint64_t seed = 20140324;   ///< EDBT 2014 start date (env CVCP_SEED)
+  /// CVCP execution-engine threads; 0 = all hardware threads. Results are
+  /// identical for any value (env CVCP_THREADS).
+  int threads = 0;
 };
 
 /// Parses env vars, then `--paper` / `--trials N` / `--aloi N` /
-/// `--folds N` / `--seed N` flags (flags win).
+/// `--folds N` / `--seed N` / `--threads N` flags (flags win).
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 /// One-line banner describing the reproduction target and the scale.

@@ -25,6 +25,7 @@ TrialSpec SpecFor(const PaperBenchContext& ctx, BenchAlgo algo,
   spec.n_folds = ctx.options.n_folds;
   spec.grid = GridFor(algo, num_classes);
   spec.with_silhouette = algo != BenchAlgo::kFosc;
+  spec.exec.threads = ctx.options.threads;
   return spec;
 }
 

@@ -42,10 +42,13 @@ int main() {
               data.size(), data.NumClasses(),
               supervision.involved_objects().size());
 
-  // 3. CVCP: pick k for MPCKMeans from {2..8} with 5-fold CV.
+  // 3. CVCP: pick k for MPCKMeans from {2..8} with 5-fold CV. The grid×fold
+  //    cells run on all hardware threads by default (cv.exec.threads = 0);
+  //    any thread count returns a bit-identical report.
   cvcp::MpckMeansClusterer clusterer;
   cvcp::CvcpConfig config;
   config.cv.n_folds = 5;
+  config.cv.exec.threads = 0;  // 0 = all hardware threads, 1 = serial
   config.param_grid = {2, 3, 4, 5, 6, 7, 8};
   auto report = cvcp::RunCvcp(data, supervision, clusterer, config, &rng);
   if (!report.ok()) {

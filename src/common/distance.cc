@@ -71,17 +71,24 @@ double Distance(std::span<const double> a, std::span<const double> b,
   return 0.0;
 }
 
-DistanceMatrix DistanceMatrix::Compute(const Matrix& points, Metric metric) {
+DistanceMatrix DistanceMatrix::Compute(const Matrix& points, Metric metric,
+                                       const ExecutionContext& exec) {
   DistanceMatrix dm;
-  dm.n_ = points.rows();
-  if (dm.n_ < 2) return dm;
-  dm.data_.resize(dm.n_ * (dm.n_ - 1) / 2);
-  size_t idx = 0;
-  for (size_t i = 0; i < dm.n_; ++i) {
-    for (size_t j = i + 1; j < dm.n_; ++j) {
-      dm.data_[idx++] = Distance(points.Row(i), points.Row(j), metric);
+  const size_t n = points.rows();
+  dm.n_ = n;
+  if (n < 2) return dm;
+  dm.data_.resize(n * (n - 1) / 2);
+  double* out = dm.data_.data();
+  // One task per row i fills the contiguous condensed block for pairs
+  // (i, i+1..n-1); rows shrink toward the end, and ParallelFor's dynamic
+  // index claiming balances that triangular load.
+  ParallelFor(exec, n - 1, [&](size_t i) {
+    size_t idx = i * n - i * (i + 1) / 2;  // CondensedIndex(i, i + 1)
+    const std::span<const double> row = points.Row(i);
+    for (size_t j = i + 1; j < n; ++j) {
+      out[idx++] = Distance(row, points.Row(j), metric);
     }
-  }
+  });
   return dm;
 }
 

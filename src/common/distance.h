@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "common/matrix.h"
+#include "common/parallel.h"
 
 namespace cvcp {
 
@@ -44,8 +45,12 @@ class DistanceMatrix {
  public:
   DistanceMatrix() : n_(0) {}
 
-  /// Computes all pairwise distances between rows of `points`.
-  static DistanceMatrix Compute(const Matrix& points, Metric metric);
+  /// Computes all pairwise distances between rows of `points`. Row blocks
+  /// are computed in parallel on the shared pool (exec.threads workers);
+  /// every entry lands in its own condensed slot, so the result is
+  /// bit-identical for any thread count.
+  static DistanceMatrix Compute(const Matrix& points, Metric metric,
+                                const ExecutionContext& exec = {});
 
   size_t n() const { return n_; }
 
@@ -57,13 +62,18 @@ class DistanceMatrix {
     return data_[CondensedIndex(i, j)];
   }
 
- private:
+  /// Index of the (i, j) pair (i != j, order-insensitive) in the condensed
+  /// row-major upper-triangular storage. Exposed so tests can pin the
+  /// addressing scheme the parallel Compute writes into.
   size_t CondensedIndex(size_t i, size_t j) const {
+    CVCP_DCHECK_LT(i, n_);
+    CVCP_DCHECK_LT(j, n_);
+    CVCP_DCHECK(i != j);  // the diagonal has no condensed slot
     if (i > j) std::swap(i, j);
-    // Index of (i, j), i < j, in row-major upper-triangular order.
     return i * n_ - i * (i + 1) / 2 + (j - i - 1);
   }
 
+ private:
   size_t n_;
   std::vector<double> data_;
 };

@@ -1,0 +1,52 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace cvcp {
+
+int ExecutionContext::ResolvedThreads() const {
+  if (threads > 0) return threads;
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+void ParallelFor(const ExecutionContext& exec, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const int threads = exec.ResolvedThreads();
+  if (threads <= 1 || n == 1 || ThreadPool::OnWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::Shared();
+  const size_t num_tasks = std::min(static_cast<size_t>(threads), n);
+  std::atomic<size_t> next{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_tasks);
+  for (size_t t = 0; t < num_tasks; ++t) {
+    futures.push_back(pool.Submit([&next, &fn, n] {
+      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    }));
+  }
+  // Wait for *every* task before unwinding — they reference this frame.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace cvcp

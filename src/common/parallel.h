@@ -1,0 +1,52 @@
+#ifndef CVCP_COMMON_PARALLEL_H_
+#define CVCP_COMMON_PARALLEL_H_
+
+/// \file
+/// Data-parallel loops on top of the shared ThreadPool, plus the
+/// `ExecutionContext` that configs use to say how many threads a
+/// computation may use. The engine's contract everywhere: for loop bodies
+/// that write only to their own index's result slot, the output is
+/// bit-identical for every thread count — parallelism changes wall time,
+/// never results.
+
+#include <cstddef>
+#include <functional>
+
+namespace cvcp {
+
+/// How much parallelism a computation may use. Plumbed through configs
+/// (CvConfig, CvcpConfig, bench TrialSpec) down to the execution layer.
+struct ExecutionContext {
+  /// Worker threads to use. 0 ⇒ all hardware threads (the default);
+  /// 1 ⇒ the exact serial code path, never touching the pool.
+  int threads = 0;
+
+  /// `threads`, with 0 resolved to the hardware concurrency (>= 1).
+  int ResolvedThreads() const;
+
+  /// Context that forces the serial code path.
+  static ExecutionContext Serial() {
+    ExecutionContext context;
+    context.threads = 1;
+    return context;
+  }
+
+  bool operator==(const ExecutionContext&) const = default;
+};
+
+/// Runs `fn(i)` for every i in [0, n). With a resolved thread count of 1
+/// (or when already on a pool worker — nested parallel sections run
+/// inline) this is a plain ascending loop; otherwise indices are claimed
+/// dynamically, in ascending order, by up to `exec.ResolvedThreads()`
+/// pool tasks, so bodies with uneven cost balance automatically. Blocks
+/// until all iterations finish. Exceptions: the serial path stops at the
+/// first throwing iteration; the pool path runs every iteration and
+/// rethrows one of the thrown exceptions (which one is
+/// scheduling-dependent) — fallible bodies should report through
+/// per-index result slots (as ScoreGridOnFolds does) rather than throw.
+void ParallelFor(const ExecutionContext& exec, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace cvcp
+
+#endif  // CVCP_COMMON_PARALLEL_H_

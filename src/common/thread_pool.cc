@@ -1,0 +1,65 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cvcp {
+
+namespace {
+thread_local bool tls_on_worker_thread = false;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  CVCP_CHECK_GT(num_threads, 0);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CVCP_CHECK_MSG(!stop_, "Submit on a stopped ThreadPool");
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping so submitted futures complete.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+bool ThreadPool::OnWorkerThread() { return tls_on_worker_thread; }
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked on purpose: worker threads must not outlive the pool, and
+  // static destruction order across translation units is unknowable.
+  static ThreadPool* shared = new ThreadPool(static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency())));
+  return *shared;
+}
+
+}  // namespace cvcp

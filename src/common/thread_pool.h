@@ -1,0 +1,77 @@
+#ifndef CVCP_COMMON_THREAD_POOL_H_
+#define CVCP_COMMON_THREAD_POOL_H_
+
+/// \file
+/// Fixed-size worker thread pool with a task-futures API. This is the
+/// process's parallel execution substrate: higher layers never spawn raw
+/// threads, they submit tasks here (usually via ParallelFor, parallel.h).
+///
+/// Determinism contract: the pool schedules tasks in an arbitrary order on
+/// an arbitrary worker, so tasks must not depend on execution order and
+/// must write to disjoint, pre-allocated result slots. Under that
+/// discipline a fan-out produces bit-identical results for any worker
+/// count, which is what lets CVCP guarantee parallel == serial output.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cvcp {
+
+/// Fixed-size worker pool. Workers are started in the constructor and
+/// joined in the destructor; tasks submitted after shutdown begins are a
+/// programming error (checked).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` (> 0) workers.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` and returns a future for its result. Exceptions thrown
+  /// by `fn` surface from future::get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// ParallelFor to run nested parallel sections inline instead of
+  /// re-submitting to the pool (which could deadlock: every worker waiting
+  /// on tasks that no free worker can run).
+  static bool OnWorkerThread();
+
+  /// Process-wide shared pool, sized to the hardware concurrency (at least
+  /// one worker), created on first use and intentionally kept alive for
+  /// the process lifetime.
+  static ThreadPool& Shared();
+
+ private:
+  void Enqueue(std::function<void()> fn);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_COMMON_THREAD_POOL_H_

@@ -1,11 +1,34 @@
 #include "core/cross_validation.h"
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "core/fmeasure.h"
 
 namespace cvcp {
+
+namespace {
+
+/// One materialized (param, fold) clustering job.
+struct CvCell {
+  int param = 0;
+  size_t fold = 0;
+  Rng rng;  ///< pre-forked; identical to the serial loop's fork
+};
+
+/// What a cell job produces. `score` is the fold's constraint F-measure
+/// (NaN when the fold had no test constraints); a non-OK `status` marks a
+/// failed clustering run.
+struct CvCellResult {
+  Status status;
+  double score = std::numeric_limits<double>::quiet_NaN();
+  double wall_ms = 0.0;
+};
+
+}  // namespace
 
 Result<std::vector<FoldSplit>> MakeSupervisionFolds(
     const Dataset& data, const Supervision& supervision,
@@ -21,37 +44,121 @@ Result<std::vector<FoldSplit>> MakeSupervisionFolds(
   return MakeConstraintFolds(supervision.constraints(), fold_config, rng);
 }
 
-Result<CvScore> ScoreParamOnFolds(const Dataset& data,
-                                  const std::vector<FoldSplit>& folds,
-                                  SupervisionKind kind,
-                                  const SemiSupervisedClusterer& clusterer,
-                                  int param, Rng* rng) {
-  CvScore score;
-  score.fold_scores.reserve(folds.size());
-  double sum = 0.0;
-  for (size_t f = 0; f < folds.size(); ++f) {
-    const FoldSplit& fold = folds[f];
+Result<std::vector<CvScore>> ScoreGridOnFolds(
+    const Dataset& data, const std::vector<FoldSplit>& folds,
+    SupervisionKind kind, const SemiSupervisedClusterer& clusterer,
+    const std::vector<int>& param_grid, Rng* rng,
+    const ExecutionContext& exec, std::vector<CvCellTiming>* timings) {
+  const size_t n_folds = folds.size();
+  const size_t n_cells = param_grid.size() * n_folds;
+  if (timings != nullptr) timings->clear();
+
+  // Materialize the grid×fold job list, pre-forking each cell's RNG in the
+  // order the serial loop forks them. Fork() never consumes parent state,
+  // so the cell streams are identical to serial execution's.
+  std::vector<CvCell> cells;
+  cells.reserve(n_cells);
+  for (int param : param_grid) {
+    for (size_t f = 0; f < n_folds; ++f) {
+      cells.push_back(CvCell{
+          param, f, rng->Fork((static_cast<uint64_t>(param) << 20) | f)});
+    }
+  }
+
+  std::vector<CvCellResult> results(n_cells);
+  // Lowest failing cell index so far. Any error discards all scores, and
+  // ParallelFor claims indices in ascending order (every cell below a
+  // recorded failure is already claimed and will finish), so cells above
+  // it can be skipped without changing which error is returned.
+  std::atomic<size_t> first_error{n_cells};
+  auto run_cell = [&](size_t c) {
+    if (c > first_error.load(std::memory_order_relaxed)) return;
+    const CvCell& cell = cells[c];
+    const FoldSplit& fold = folds[cell.fold];
+    const auto start = std::chrono::steady_clock::now();
     // Training supervision for this fold.
     Supervision train =
         kind == SupervisionKind::kLabels
             ? Supervision::FromLabelArray(fold.train_labels)
             : Supervision::FromConstraints(fold.train_constraints);
-    // Independent, reproducible randomness per (param, fold).
-    Rng fold_rng = rng->Fork((static_cast<uint64_t>(param) << 20) | f);
-    CVCP_ASSIGN_OR_RETURN(Clustering clustering,
-                          clusterer.Cluster(data, train, param, &fold_rng));
-    const ConstraintFMeasure fm =
-        EvaluateConstraintClassification(clustering, fold.test_constraints);
-    score.fold_scores.push_back(fm.average);
-    if (!std::isnan(fm.average)) {
-      sum += fm.average;
-      ++score.valid_folds;
+    Rng cell_rng = cell.rng;
+    Result<Clustering> clustering =
+        clusterer.Cluster(data, train, cell.param, &cell_rng);
+    CvCellResult& out = results[c];
+    if (clustering.ok()) {
+      out.score =
+          EvaluateConstraintClassification(clustering.value(),
+                                           fold.test_constraints)
+              .average;
+    } else {
+      out.status = clustering.status();
+      size_t lowest = first_error.load(std::memory_order_relaxed);
+      while (c < lowest &&
+             !first_error.compare_exchange_weak(lowest, c,
+                                                std::memory_order_relaxed)) {
+      }
+    }
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  };
+
+  if (exec.ResolvedThreads() <= 1) {
+    // Exact serial path: cells in (grid-order, fold-order), stopping at the
+    // first error like the pre-scheduler loop did.
+    for (size_t c = 0; c < n_cells; ++c) {
+      run_cell(c);
+      if (!results[c].status.ok()) break;
+    }
+  } else {
+    ParallelFor(exec, n_cells, run_cell);
+  }
+
+  // Deterministic reduction: first error in cell order wins, matching what
+  // the serial loop would have returned.
+  for (const CvCellResult& result : results) {
+    if (!result.status.ok()) return result.status;
+  }
+
+  if (timings != nullptr) {
+    timings->reserve(n_cells);
+    for (size_t c = 0; c < n_cells; ++c) {
+      timings->push_back(CvCellTiming{cells[c].param,
+                                      static_cast<int>(cells[c].fold),
+                                      results[c].wall_ms});
     }
   }
-  score.mean_f = score.valid_folds > 0
-                     ? sum / static_cast<double>(score.valid_folds)
-                     : std::numeric_limits<double>::quiet_NaN();
-  return score;
+
+  std::vector<CvScore> scores(param_grid.size());
+  for (size_t g = 0; g < param_grid.size(); ++g) {
+    CvScore& score = scores[g];
+    score.fold_scores.reserve(n_folds);
+    double sum = 0.0;
+    for (size_t f = 0; f < n_folds; ++f) {
+      const double fold_score = results[g * n_folds + f].score;
+      score.fold_scores.push_back(fold_score);
+      if (!std::isnan(fold_score)) {
+        sum += fold_score;
+        ++score.valid_folds;
+      }
+    }
+    score.mean_f = score.valid_folds > 0
+                       ? sum / static_cast<double>(score.valid_folds)
+                       : std::numeric_limits<double>::quiet_NaN();
+  }
+  return scores;
+}
+
+Result<CvScore> ScoreParamOnFolds(const Dataset& data,
+                                  const std::vector<FoldSplit>& folds,
+                                  SupervisionKind kind,
+                                  const SemiSupervisedClusterer& clusterer,
+                                  int param, Rng* rng,
+                                  const ExecutionContext& exec) {
+  CVCP_ASSIGN_OR_RETURN(
+      std::vector<CvScore> scores,
+      ScoreGridOnFolds(data, folds, kind, clusterer, {param}, rng, exec));
+  return std::move(scores.front());
 }
 
 Result<CvScore> CrossValidateParam(const Dataset& data,
@@ -59,10 +166,15 @@ Result<CvScore> CrossValidateParam(const Dataset& data,
                                    const SemiSupervisedClusterer& clusterer,
                                    int param, const CvConfig& config,
                                    Rng* rng) {
-  CVCP_ASSIGN_OR_RETURN(std::vector<FoldSplit> folds,
-                        MakeSupervisionFolds(data, supervision, config, rng));
+  // Fork the fold/score streams exactly as RunCvcp does so both entry
+  // points derive identical randomness from the same caller RNG.
+  Rng fold_rng = rng->Fork(kFoldStreamId);
+  CVCP_ASSIGN_OR_RETURN(
+      std::vector<FoldSplit> folds,
+      MakeSupervisionFolds(data, supervision, config, &fold_rng));
+  Rng score_rng = rng->Fork(kScoreStreamId);
   return ScoreParamOnFolds(data, folds, supervision.kind(), clusterer, param,
-                           rng);
+                           &score_rng, config.exec);
 }
 
 }  // namespace cvcp

@@ -8,10 +8,19 @@
 /// with the resulting partition, and average the constraint F-measure over
 /// folds. Folds are built once and reused across parameter values so CVCP
 /// compares parameters on identical splits.
+///
+/// Execution model: every (param, fold) cell is an independent clustering
+/// job with a pre-forked RNG, so the grid×fold sweep is materialized as a
+/// job list and fanned out across the shared thread pool
+/// (ScoreGridOnFolds). Scores are reduced in (grid-order, fold-order)
+/// sequence and the first error in that order wins, which keeps results —
+/// including error semantics — bit-identical to the serial loop.
 
+#include <cstdint>
 #include <vector>
 
 #include "common/dataset.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "constraints/folds.h"
@@ -20,11 +29,21 @@
 
 namespace cvcp {
 
+/// Stream ids for the fold-construction and scoring RNG forks. RunCvcp and
+/// CrossValidateParam both fork these streams off the caller's RNG, so the
+/// convenience entry point and the full driver agree on randomness for
+/// identical inputs.
+inline constexpr uint64_t kFoldStreamId = 0xF01D5ULL;
+inline constexpr uint64_t kScoreStreamId = 0x5C0BEULL;
+
 /// Cross-validation configuration.
 struct CvConfig {
   int n_folds = 10;
   /// Scenario I only: stratify folds by class label.
   bool stratified = false;
+  /// Parallelism for the grid×fold job fan-out (results are identical for
+  /// any thread count; threads = 1 forces the serial code path).
+  ExecutionContext exec;
 };
 
 /// Builds the scenario-appropriate folds for the given supervision:
@@ -42,18 +61,41 @@ struct CvScore {
   int valid_folds = 0;
 };
 
+/// Wall-clock cost of one (param, fold) clustering job.
+struct CvCellTiming {
+  int param = 0;
+  int fold = 0;
+  double wall_ms = 0.0;
+};
+
+/// Scores every grid value on prebuilt folds through the job-based
+/// scheduler: all (param, fold) cells are materialized up front, each
+/// cell's RNG is pre-forked exactly as the serial loop forks it, the cells
+/// run on the shared pool (`exec`), and fold scores are reduced in
+/// (grid-order, fold-order) sequence with first-error-wins Status
+/// propagation. Returned scores are bit-identical to scoring each param
+/// serially. When `timings` is non-null it is filled with one entry per
+/// cell in (grid-order, fold-order).
+Result<std::vector<CvScore>> ScoreGridOnFolds(
+    const Dataset& data, const std::vector<FoldSplit>& folds,
+    SupervisionKind kind, const SemiSupervisedClusterer& clusterer,
+    const std::vector<int>& param_grid, Rng* rng,
+    const ExecutionContext& exec = ExecutionContext::Serial(),
+    std::vector<CvCellTiming>* timings = nullptr);
+
 /// Scores `param` on prebuilt folds. The clusterer sees each fold's
 /// training supervision (labels when Scenario I provided them, else
 /// constraints); the test fold's constraints only ever meet the finished
 /// partition. Clusterer RNG is forked per (param, fold) so scores are
 /// reproducible and fold order is immaterial.
-Result<CvScore> ScoreParamOnFolds(const Dataset& data,
-                                  const std::vector<FoldSplit>& folds,
-                                  SupervisionKind kind,
-                                  const SemiSupervisedClusterer& clusterer,
-                                  int param, Rng* rng);
+Result<CvScore> ScoreParamOnFolds(
+    const Dataset& data, const std::vector<FoldSplit>& folds,
+    SupervisionKind kind, const SemiSupervisedClusterer& clusterer, int param,
+    Rng* rng, const ExecutionContext& exec = ExecutionContext::Serial());
 
 /// Convenience: folds + score in one call (fresh folds for this parameter).
+/// Forks the fold/score RNG streams exactly as RunCvcp does, so for the
+/// same inputs and RNG it reproduces the corresponding RunCvcp grid entry.
 Result<CvScore> CrossValidateParam(const Dataset& data,
                                    const Supervision& supervision,
                                    const SemiSupervisedClusterer& clusterer,

@@ -12,24 +12,30 @@ Result<CvcpReport> RunCvcp(const Dataset& data, const Supervision& supervision,
   }
 
   // One set of folds, shared by every grid value (paired comparison).
-  Rng fold_rng = rng->Fork(0xF01D5ULL);
+  Rng fold_rng = rng->Fork(kFoldStreamId);
   CVCP_ASSIGN_OR_RETURN(
       std::vector<FoldSplit> folds,
       MakeSupervisionFolds(data, supervision, config.cv, &fold_rng));
 
+  // Steps 1-2: every (param, fold) cell as one job fan-out. The scheduler
+  // reduces in (grid-order, fold-order), so the scores — and any error —
+  // are bit-identical to looping the grid serially.
   CvcpReport report;
+  Rng score_rng = rng->Fork(kScoreStreamId);
+  CVCP_ASSIGN_OR_RETURN(
+      std::vector<CvScore> cv_scores,
+      ScoreGridOnFolds(data, folds, supervision.kind(), clusterer,
+                       config.param_grid, &score_rng, config.cv.exec,
+                       config.collect_timings ? &report.cell_timings
+                                              : nullptr));
+
   report.scores.reserve(config.param_grid.size());
   bool have_best = false;
-  Rng score_rng = rng->Fork(0x5C0BEULL);
-  for (int param : config.param_grid) {
-    CVCP_ASSIGN_OR_RETURN(
-        CvScore cv_score,
-        ScoreParamOnFolds(data, folds, supervision.kind(), clusterer, param,
-                          &score_rng));
+  for (size_t g = 0; g < config.param_grid.size(); ++g) {
     CvcpParamScore entry;
-    entry.param = param;
-    entry.score = cv_score.mean_f;
-    entry.valid_folds = cv_score.valid_folds;
+    entry.param = config.param_grid[g];
+    entry.score = cv_scores[g].mean_f;
+    entry.valid_folds = cv_scores[g].valid_folds;
     report.scores.push_back(entry);
     // Step 3: argmax, first (grid-order) winner on ties.
     if (!std::isnan(entry.score) &&

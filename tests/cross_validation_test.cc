@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "constraints/oracle.h"
+#include "core/cvcp.h"
 #include "data/generators.h"
 
 namespace cvcp {
@@ -108,6 +109,71 @@ TEST(CrossValidateParamTest, EndToEndConstraintScenario) {
   ASSERT_TRUE(score.ok());
   EXPECT_GE(score->valid_folds, 1);
   EXPECT_GT(score->mean_f, 0.5);
+}
+
+TEST(CrossValidateParamTest, AgreesWithRunCvcpOnIdenticalInputs) {
+  // Regression test: CrossValidateParam must fork its fold/score RNG
+  // streams exactly like RunCvcp (kFoldStreamId / kScoreStreamId), so the
+  // convenience entry point reproduces the corresponding grid entry of the
+  // full driver bit-for-bit.
+  Dataset data = EasyData();
+  Rng rng(10);
+  auto labeled = SampleLabeledObjects(data, 0.3, &rng);
+  ASSERT_TRUE(labeled.ok());
+  Supervision supervision = Supervision::FromLabels(data, labeled.value());
+  MpckMeansClusterer clusterer;
+
+  CvcpConfig cvcp_config;
+  cvcp_config.cv.n_folds = 4;
+  cvcp_config.param_grid = {3};
+  Rng cvcp_rng(11);
+  auto report = RunCvcp(data, supervision, clusterer, cvcp_config, &cvcp_rng);
+  ASSERT_TRUE(report.ok());
+
+  Rng cv_rng(11);
+  auto score = CrossValidateParam(data, supervision, clusterer, /*param=*/3,
+                                  cvcp_config.cv, &cv_rng);
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(score->valid_folds, report->scores[0].valid_folds);
+  EXPECT_DOUBLE_EQ(score->mean_f, report->scores[0].score);
+}
+
+TEST(ScoreGridOnFoldsTest, MatchesPerParamScoringForEveryThreadCount) {
+  Dataset data = EasyData();
+  Rng rng(12);
+  auto labeled = SampleLabeledObjects(data, 0.3, &rng);
+  ASSERT_TRUE(labeled.ok());
+  Supervision supervision = Supervision::FromLabels(data, labeled.value());
+  auto folds = MakeSupervisionFolds(data, supervision, {.n_folds = 4}, &rng);
+  ASSERT_TRUE(folds.ok());
+  MpckMeansClusterer clusterer;
+  const std::vector<int> grid = {2, 3, 5};
+
+  // Reference: the serial per-param path.
+  std::vector<CvScore> expected;
+  for (int param : grid) {
+    Rng param_rng(13);
+    auto score = ScoreParamOnFolds(data, *folds, supervision.kind(), clusterer,
+                                   param, &param_rng);
+    ASSERT_TRUE(score.ok());
+    expected.push_back(*score);
+  }
+
+  for (int threads : {1, 2, 8}) {
+    ExecutionContext exec;
+    exec.threads = threads;
+    Rng grid_rng(13);
+    auto scores = ScoreGridOnFolds(data, *folds, supervision.kind(), clusterer,
+                                   grid, &grid_rng, exec);
+    ASSERT_TRUE(scores.ok());
+    ASSERT_EQ(scores->size(), grid.size());
+    for (size_t g = 0; g < grid.size(); ++g) {
+      EXPECT_EQ((*scores)[g].fold_scores, expected[g].fold_scores)
+          << "param " << grid[g] << ", threads " << threads;
+      EXPECT_EQ((*scores)[g].valid_folds, expected[g].valid_folds);
+      EXPECT_DOUBLE_EQ((*scores)[g].mean_f, expected[g].mean_f);
+    }
+  }
 }
 
 TEST(CrossValidateParamTest, TooFewObjectsForFoldsErrors) {

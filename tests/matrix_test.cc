@@ -99,5 +99,26 @@ TEST(MatrixTest, EqualityComparesShapeAndData) {
   EXPECT_FALSE(a == c);
 }
 
+TEST(MatrixDeathTest, FromRowsRejectsRaggedInput) {
+  EXPECT_DEATH(Matrix::FromRows({{1, 2}, {3, 4, 5}}), "size");
+  EXPECT_DEATH(Matrix::FromRows({{1, 2, 3}, {4}}), "size");
+}
+
+TEST(MatrixDeathTest, AppendRowRejectsWrongWidth) {
+  Matrix m = Matrix::FromRows({{1, 2}});
+  EXPECT_DEATH(m.AppendRow(std::vector<double>{1, 2, 3}), "size");
+}
+
+TEST(MatrixDeathTest, SetRowRejectsWrongWidth) {
+  Matrix m(2, 3);
+  EXPECT_DEATH(m.SetRow(0, std::vector<double>{1, 2}), "size");
+  EXPECT_DEATH(m.SetRow(0, std::vector<double>{1, 2, 3, 4}), "size");
+}
+
+TEST(MatrixDeathTest, SetRowRejectsOutOfRangeRow) {
+  Matrix m(2, 3);
+  EXPECT_DEATH(m.SetRow(2, std::vector<double>{1, 2, 3}), "rows_");
+}
+
 }  // namespace
 }  // namespace cvcp

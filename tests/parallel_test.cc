@@ -1,0 +1,139 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace cvcp {
+namespace {
+
+TEST(ExecutionContextTest, ZeroResolvesToHardwareConcurrency) {
+  ExecutionContext context;
+  EXPECT_EQ(context.threads, 0);
+  EXPECT_GE(context.ResolvedThreads(), 1);
+}
+
+TEST(ExecutionContextTest, PositiveThreadsPassThrough) {
+  ExecutionContext context;
+  context.threads = 7;
+  EXPECT_EQ(context.ResolvedThreads(), 7);
+}
+
+TEST(ExecutionContextTest, SerialForcesOneThread) {
+  EXPECT_EQ(ExecutionContext::Serial().threads, 1);
+  EXPECT_EQ(ExecutionContext::Serial().ResolvedThreads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureWithValue) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2);
+  auto future = pool.Submit([] { return 41 + 1; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPoolTest, RunsManyTasksToCompletion) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ExceptionsSurfaceThroughFuture) {
+  ThreadPool pool(1);
+  auto future = pool.Submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadFlagsPoolThreadsOnly) {
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+  ThreadPool pool(1);
+  auto future = pool.Submit([] { return ThreadPool::OnWorkerThread(); });
+  EXPECT_TRUE(future.get());
+}
+
+TEST(ThreadPoolTest, SharedPoolHasAtLeastOneWorker) {
+  EXPECT_GE(ThreadPool::Shared().num_threads(), 1);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ExecutionContext exec;
+    exec.threads = threads;
+    std::vector<int> visits(100, 0);
+    ParallelFor(exec, visits.size(), [&](size_t i) { ++visits[i]; });
+    for (size_t i = 0; i < visits.size(); ++i) {
+      EXPECT_EQ(visits[i], 1) << "index " << i << ", threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyAndSingleIterationWork) {
+  ExecutionContext exec;
+  exec.threads = 4;
+  int calls = 0;
+  ParallelFor(exec, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(exec, 1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, ResultsMatchSerialForAnyThreadCount) {
+  std::vector<double> serial(257);
+  ParallelFor(ExecutionContext::Serial(), serial.size(),
+              [&](size_t i) { serial[i] = static_cast<double>(i * i) / 3.0; });
+  for (int threads : {2, 3, 16}) {
+    ExecutionContext exec;
+    exec.threads = threads;
+    std::vector<double> parallel(serial.size());
+    ParallelFor(exec, parallel.size(), [&](size_t i) {
+      parallel[i] = static_cast<double>(i * i) / 3.0;
+    });
+    EXPECT_EQ(parallel, serial) << "threads " << threads;
+  }
+}
+
+TEST(ParallelForTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ExecutionContext exec;
+  exec.threads = 4;
+  std::vector<int> sums(8, 0);
+  ParallelFor(exec, sums.size(), [&](size_t i) {
+    // Inner loop must detect it is on a pool worker and run inline;
+    // otherwise all workers could block waiting on each other.
+    int sum = 0;
+    ParallelFor(exec, 10, [&](size_t j) { sum += static_cast<int>(j); });
+    sums[i] = sum;
+  });
+  for (int sum : sums) EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelForTest, BodyExceptionPropagates) {
+  ExecutionContext exec;
+  exec.threads = 4;
+  EXPECT_THROW(ParallelFor(exec, 16,
+                           [&](size_t i) {
+                             if (i == 7) throw std::runtime_error("boom");
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, MoreThreadsThanIterationsIsFine) {
+  ExecutionContext exec;
+  exec.threads = 32;
+  std::vector<int> visits(3, 0);
+  ParallelFor(exec, visits.size(), [&](size_t i) { ++visits[i]; });
+  EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 3);
+}
+
+}  // namespace
+}  // namespace cvcp
