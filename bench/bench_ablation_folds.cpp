@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
     spec.level = 0.20;
     spec.n_folds = n_folds;
     spec.grid = DefaultMinPtsGrid();
+    spec.exec.threads = options.threads;
+    spec.trial_threads = options.trial_threads;
 
     AloiAggregate aloi = RunAloiExperiment(ctx.aloi, fosc, spec,
                                            options.trials, options.seed);

@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
     spec.scenario = Scenario::kLabels;
     spec.level = 0.20;
     spec.n_folds = options.n_folds;
+    spec.exec.threads = options.threads;
+    spec.trial_threads = options.trial_threads;
     spec.grid = MakeKGrid(wine.NumClasses());
     CellAggregate wine_cell =
         RunExperiment(wine, clusterer, spec, options.trials, options.seed);

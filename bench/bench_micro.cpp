@@ -12,6 +12,9 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <bit>
+
 #include "cluster/dendrogram.h"
 #include "cluster/fosc.h"
 #include "cluster/kmeans.h"
@@ -25,6 +28,7 @@
 #include "core/cvcp.h"
 #include "core/fmeasure.h"
 #include "data/generators.h"
+#include "harness/experiment.h"
 
 namespace {
 
@@ -191,12 +195,80 @@ void PrintCvcpScalingTable() {
   std::printf("\n");
 }
 
+// Serial-vs-parallel wall time for the *trial-level* fan-out in
+// RunExperiment: fully serial, inner (CVCP grid×fold) parallelism only
+// (`trial_threads = 1`, the pre-trial-parallel engine), and the automatic
+// budget split (trial lanes outside, CVCP cells inline). Also cross-checks
+// the engine's guarantee that every configuration produces bit-identical
+// aggregates.
+void PrintTrialScalingTable() {
+  Dataset data = BenchData(/*per_cluster=*/25, /*k=*/4, /*dims=*/8);
+  MpckMeansClusterer clusterer;
+
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  cvcp::bench::TrialSpec spec;
+  spec.scenario = cvcp::bench::Scenario::kLabels;
+  spec.level = 0.20;
+  spec.n_folds = 5;
+  spec.grid = {2, 3, 4, 5};
+  const int trials = std::max(8, hw);
+
+  struct Row {
+    const char* label;
+    int threads;
+    int trial_threads;
+  };
+  std::vector<Row> rows = {{"serial", 1, 1}};
+  if (hw >= 2) {
+    rows.push_back({"CVCP-level", hw, 1});
+    rows.push_back({"trial-level", hw, 0});
+  }
+
+  std::printf(
+      "=== RunExperiment serial vs trial-parallel "
+      "(MPCKMeans, %d trials, %d-fold x %zu-value grid, n=%zu, "
+      "%d hardware threads) ===\n",
+      trials, spec.n_folds, spec.grid.size(), data.size(), hw);
+  std::printf("%-14s %8s %12s %10s %s\n", "mode", "threads", "wall_ms",
+              "speedup", "matches serial");
+
+  double serial_ms = 0.0;
+  uint64_t serial_mean_bits = 0;
+  int serial_ok = 0;
+  for (const Row& row : rows) {
+    spec.exec.threads = row.threads;
+    spec.trial_threads = row.trial_threads;
+    const auto start = std::chrono::steady_clock::now();
+    const cvcp::bench::CellAggregate agg =
+        cvcp::bench::RunExperiment(data, clusterer, spec, trials, /*seed=*/31);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    const uint64_t mean_bits = std::bit_cast<uint64_t>(agg.cvcp_mean);
+    if (row.threads == 1) {
+      serial_ms = ms;
+      serial_mean_bits = mean_bits;
+      serial_ok = agg.trials_ok;
+      std::printf("%-14s %8d %12.1f %9.2fx %s\n", row.label, row.threads, ms,
+                  1.0, "(baseline)");
+    } else {
+      const bool matches =
+          mean_bits == serial_mean_bits && agg.trials_ok == serial_ok;
+      std::printf("%-14s %8d %12.1f %9.2fx %s\n", row.label, row.threads, ms,
+                  serial_ms / ms, matches ? "yes" : "NO — DETERMINISM BUG");
+    }
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   PrintCvcpScalingTable();
+  PrintTrialScalingTable();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

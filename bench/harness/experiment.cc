@@ -1,6 +1,5 @@
 #include "harness/experiment.h"
 
-#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -44,7 +43,45 @@ double NanAwareMean(const std::vector<double>& v) {
   return n > 0 ? sum / static_cast<double>(n) : kNaN;
 }
 
+double NanAwareStdDev(const std::vector<double>& v) {
+  std::vector<double> defined;
+  defined.reserve(v.size());
+  for (double x : v) {
+    if (!std::isnan(x)) defined.push_back(x);
+  }
+  return SampleStdDev(defined);
+}
+
+/// Paired t-test over positions where both series are defined; a
+/// default-constructed ("no test") result when fewer than 2 pairs remain.
+PairedTTestResult NanAwarePairedTTest(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  std::vector<double> as, bs;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!std::isnan(a[i]) && !std::isnan(b[i])) {
+      as.push_back(a[i]);
+      bs.push_back(b[i]);
+    }
+  }
+  if (as.size() < 2) return PairedTTestResult{};
+  return PairedTTest(as, bs);
+}
+
 }  // namespace
+
+void CellAggregate::Finalize(bool with_silhouette) {
+  corr_mean = NanAwareMean(correlations);
+  cvcp_mean = NanAwareMean(cvcp_values);
+  cvcp_std = NanAwareStdDev(cvcp_values);
+  exp_mean = NanAwareMean(exp_values);
+  exp_std = NanAwareStdDev(exp_values);
+  sil_mean = NanAwareMean(sil_values);
+  sil_std = NanAwareStdDev(sil_values);
+  cvcp_vs_exp = NanAwarePairedTTest(cvcp_values, exp_values);
+  if (with_silhouette) {
+    cvcp_vs_sil = NanAwarePairedTTest(cvcp_values, sil_values);
+  }
+}
 
 TrialResult RunTrial(const Dataset& data,
                      const SemiSupervisedClusterer& clusterer,
@@ -110,22 +147,15 @@ TrialResult RunTrial(const Dataset& data,
     run_rngs.push_back(sweep_rng.Fork(gi));
   }
   std::vector<Status> sweep_errors(spec.grid.size());
-  // Lowest failing grid index; as in ScoreGridOnFolds, ascending index
-  // claiming makes skipping everything above it safe and keeps the
-  // reported error identical to the serial sweep's.
-  std::atomic<size_t> first_error{spec.grid.size()};
+  FirstErrorTracker first_error(spec.grid.size());
   ParallelFor(spec.exec, spec.grid.size(), [&](size_t gi) {
-    if (gi > first_error.load(std::memory_order_relaxed)) return;
+    if (first_error.ShouldSkip(gi)) return;
     Rng run_rng = run_rngs[gi];
     auto clustering =
         clusterer.Cluster(data, supervision, spec.grid[gi], &run_rng);
     if (!clustering.ok()) {
       sweep_errors[gi] = clustering.status();
-      size_t lowest = first_error.load(std::memory_order_relaxed);
-      while (gi < lowest &&
-             !first_error.compare_exchange_weak(lowest, gi,
-                                                std::memory_order_relaxed)) {
-      }
+      first_error.Record(gi);
       return;
     }
     out.external_scores[gi] =
@@ -146,11 +176,20 @@ TrialResult RunTrial(const Dataset& data,
   out.correlation =
       NanAwareCorrelation(out.internal_scores, out.external_scores);
   out.expected_external = ExpectedQuality(out.external_scores);
+  bool pick_in_grid = false;
   for (size_t gi = 0; gi < spec.grid.size(); ++gi) {
     if (spec.grid[gi] == out.cvcp_param) {
       out.cvcp_external = out.external_scores[gi];
+      pick_in_grid = true;
       break;
     }
+  }
+  if (!pick_in_grid) {
+    // Aggregating the stale default as a real score would bias the cell;
+    // a pick outside the grid is a broken trial, not a zero-quality one.
+    out.error = Format("CVCP picked parameter %d, which is not in the grid",
+                       out.cvcp_param);
+    return out;
   }
   if (spec.with_silhouette) {
     const int sil_idx = OracleIndex(out.silhouettes);
@@ -171,11 +210,29 @@ TrialResult RunTrial(const Dataset& data,
 CellAggregate RunExperiment(const Dataset& data,
                             const SemiSupervisedClusterer& clusterer,
                             const TrialSpec& spec, int trials, uint64_t seed) {
-  CellAggregate agg;
+  const size_t n_trials = trials > 0 ? static_cast<size_t>(trials) : 0;
+  // Trials are independent; fan them out on the engine. Seeds are
+  // pre-forked by trial id (Fork never consumes parent state, so they are
+  // exactly the serial loop's seeds), each trial writes only its own
+  // pre-sized slot, and the reduction below runs in trial order — the
+  // aggregate is byte-identical for every thread count.
   Rng master(seed);
-  for (int t = 0; t < trials; ++t) {
-    const TrialResult trial =
-        RunTrial(data, clusterer, spec, master.Fork(static_cast<uint64_t>(t)).seed());
+  std::vector<uint64_t> trial_seeds;
+  trial_seeds.reserve(n_trials);
+  for (size_t t = 0; t < n_trials; ++t) {
+    trial_seeds.push_back(master.Fork(static_cast<uint64_t>(t)).seed());
+  }
+  const NestedBudget budget =
+      SplitBudget(spec.exec, n_trials, spec.trial_threads);
+  TrialSpec trial_spec = spec;
+  trial_spec.exec = budget.inner;
+  std::vector<TrialResult> results(n_trials);
+  ParallelFor(budget.outer, n_trials, [&](size_t t) {
+    results[t] = RunTrial(data, clusterer, trial_spec, trial_seeds[t]);
+  });
+
+  CellAggregate agg;
+  for (const TrialResult& trial : results) {
     if (!trial.ok) continue;
     ++agg.trials_ok;
     agg.cvcp_values.push_back(trial.cvcp_external);
@@ -183,33 +240,7 @@ CellAggregate RunExperiment(const Dataset& data,
     agg.sil_values.push_back(trial.silhouette_external);
     agg.correlations.push_back(trial.correlation);
   }
-  agg.corr_mean = NanAwareMean(agg.correlations);
-  agg.cvcp_mean = Mean(agg.cvcp_values);
-  agg.cvcp_std = SampleStdDev(agg.cvcp_values);
-  agg.exp_mean = Mean(agg.exp_values);
-  agg.exp_std = SampleStdDev(agg.exp_values);
-  agg.sil_mean = NanAwareMean(agg.sil_values);
-  // Std over defined silhouette values only.
-  {
-    std::vector<double> defined;
-    for (double v : agg.sil_values) {
-      if (!std::isnan(v)) defined.push_back(v);
-    }
-    agg.sil_std = SampleStdDev(defined);
-  }
-  if (agg.cvcp_values.size() >= 2) {
-    agg.cvcp_vs_exp = PairedTTest(agg.cvcp_values, agg.exp_values);
-    if (spec.with_silhouette) {
-      std::vector<double> cv, sl;
-      for (size_t i = 0; i < agg.sil_values.size(); ++i) {
-        if (!std::isnan(agg.sil_values[i])) {
-          cv.push_back(agg.cvcp_values[i]);
-          sl.push_back(agg.sil_values[i]);
-        }
-      }
-      if (cv.size() >= 2) agg.cvcp_vs_sil = PairedTTest(cv, sl);
-    }
-  }
+  agg.Finalize(spec.with_silhouette);
   return agg;
 }
 
@@ -218,15 +249,31 @@ AloiAggregate RunAloiExperiment(const std::vector<Dataset>& collection,
                                 const TrialSpec& spec, int trials,
                                 uint64_t seed) {
   AloiAggregate out;
+  // Collection members are independent cells; same discipline as the trial
+  // fan-out: seeds pre-forked by dataset index, per-dataset result slots,
+  // reduction in dataset order. The trial loop inside each cell shares the
+  // same budget (nested ParallelFor runs inline on pool workers, so the
+  // pool is never oversubscribed).
   Rng master(seed);
+  std::vector<uint64_t> dataset_seeds;
+  dataset_seeds.reserve(collection.size());
   for (size_t d = 0; d < collection.size(); ++d) {
-    CellAggregate cell = RunExperiment(collection[d], clusterer, spec, trials,
-                                       master.Fork(d).seed());
-    if (cell.cvcp_values.size() >= 2) {
-      if (cell.cvcp_vs_exp.SignificantAt(0.05)) ++out.significant_vs_expected;
-      if (spec.with_silhouette && cell.cvcp_vs_sil.SignificantAt(0.05)) {
-        ++out.significant_vs_silhouette;
-      }
+    dataset_seeds.push_back(master.Fork(d).seed());
+  }
+  const NestedBudget budget =
+      SplitBudget(spec.exec, collection.size(), spec.trial_threads);
+  TrialSpec cell_spec = spec;
+  cell_spec.exec = budget.inner;
+  out.per_dataset.resize(collection.size());
+  ParallelFor(budget.outer, collection.size(), [&](size_t d) {
+    out.per_dataset[d] = RunExperiment(collection[d], clusterer, cell_spec,
+                                       trials, dataset_seeds[d]);
+  });
+
+  for (const CellAggregate& cell : out.per_dataset) {
+    if (cell.cvcp_vs_exp.SignificantAt(0.05)) ++out.significant_vs_expected;
+    if (spec.with_silhouette && cell.cvcp_vs_sil.SignificantAt(0.05)) {
+      ++out.significant_vs_silhouette;
     }
     // Pool per-trial values for collection-level stats and boxplots.
     auto& pooled = out.pooled;
@@ -241,25 +288,8 @@ AloiAggregate RunAloiExperiment(const std::vector<Dataset>& collection,
     pooled.correlations.insert(pooled.correlations.end(),
                                cell.correlations.begin(),
                                cell.correlations.end());
-    out.per_dataset.push_back(std::move(cell));
   }
-  auto& pooled = out.pooled;
-  pooled.corr_mean = NanAwareMean(pooled.correlations);
-  pooled.cvcp_mean = Mean(pooled.cvcp_values);
-  pooled.cvcp_std = SampleStdDev(pooled.cvcp_values);
-  pooled.exp_mean = Mean(pooled.exp_values);
-  pooled.exp_std = SampleStdDev(pooled.exp_values);
-  pooled.sil_mean = NanAwareMean(pooled.sil_values);
-  {
-    std::vector<double> defined;
-    for (double v : pooled.sil_values) {
-      if (!std::isnan(v)) defined.push_back(v);
-    }
-    pooled.sil_std = SampleStdDev(defined);
-  }
-  if (pooled.cvcp_values.size() >= 2) {
-    pooled.cvcp_vs_exp = PairedTTest(pooled.cvcp_values, pooled.exp_values);
-  }
+  out.pooled.Finalize(spec.with_silhouette);
   return out;
 }
 

@@ -17,6 +17,7 @@
 /// ALOI experiments additionally aggregate over collection members and
 /// count per-dataset significance as the paper's captions do.
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -45,9 +46,15 @@ struct TrialSpec {
   int n_folds = 5;
   /// Also select by silhouette (paper: MPCKMeans only).
   bool with_silhouette = false;
-  /// Parallelism for the CVCP grid×fold cells and the full-supervision
-  /// sweep; any thread count yields identical trial results.
+  /// Total thread budget, shared by every nesting level (ALOI datasets >
+  /// trials > CVCP grid×fold cells / full-supervision sweep); any thread
+  /// count yields identical results.
   ExecutionContext exec;
+  /// Nesting mode for the outer experiment loops (trials in RunExperiment,
+  /// datasets in RunAloiExperiment): 0 = automatic SplitBudget policy,
+  /// 1 = serial outer loops (the whole budget goes to the CVCP cells, the
+  /// pre-PR3 behavior), N > 1 = exactly N outer lanes.
+  int trial_threads = 0;
 };
 
 /// Everything measured in one trial.
@@ -61,10 +68,13 @@ struct TrialResult {
 
   double correlation = 0.0;  ///< Pearson(internal, external); NaN if flat
   int cvcp_param = 0;
-  double cvcp_external = 0.0;
+  /// External quality of the CVCP pick; NaN until assigned (e.g. when the
+  /// pick's external F is undefined because every object is supervised).
+  double cvcp_external = std::numeric_limits<double>::quiet_NaN();
   double expected_external = 0.0;
   int silhouette_param = 0;
-  double silhouette_external = 0.0;  ///< NaN when not computed
+  /// NaN when not computed.
+  double silhouette_external = std::numeric_limits<double>::quiet_NaN();
 };
 
 /// Runs one trial. `trial_seed` fully determines the randomness.
@@ -73,6 +83,9 @@ TrialResult RunTrial(const Dataset& data,
                      const TrialSpec& spec, uint64_t trial_seed);
 
 /// Aggregate of one experimental cell (dataset x level x algorithm).
+/// All means/stds skip NaN entries and the paired t-tests drop pairs where
+/// either side is NaN, so one trial with an undefined score degrades the
+/// sample size instead of poisoning the whole cell.
 struct CellAggregate {
   int trials_ok = 0;
   double corr_mean = 0.0;  ///< mean per-trial correlation (NaN-skipping)
@@ -87,17 +100,30 @@ struct CellAggregate {
   std::vector<double> exp_values;
   std::vector<double> sil_values;
   std::vector<double> correlations;
+
+  /// Recomputes every derived statistic above from the per-trial series:
+  /// means/stds over the defined (non-NaN) entries of each series, paired
+  /// t-tests over the positions where both sides are defined (fewer than 2
+  /// such pairs leaves the "no test ran" default, which is never
+  /// significant). `cvcp_vs_sil` is only computed with silhouettes on.
+  void Finalize(bool with_silhouette);
 };
 
 /// Runs `trials` independent trials (seeds forked from `seed` by trial id)
-/// and aggregates.
+/// and aggregates. Trials fan out over the execution engine according to
+/// `spec.exec`/`spec.trial_threads`; seeds are pre-forked by trial id and
+/// the reduction runs in trial order, so the aggregate (including error /
+/// skip semantics) is byte-identical for every thread count.
 CellAggregate RunExperiment(const Dataset& data,
                             const SemiSupervisedClusterer& clusterer,
                             const TrialSpec& spec, int trials, uint64_t seed);
 
 /// ALOI-collection experiment: the cell is run per collection member; the
 /// paper reports the across-collection mean and how many members had a
-/// significant CVCP-vs-Expected difference.
+/// significant CVCP-vs-Expected difference. Collection members fan out on
+/// the execution engine (seeds pre-forked by dataset index, reduction in
+/// dataset order), so the aggregate is byte-identical for every thread
+/// count.
 struct AloiAggregate {
   std::vector<CellAggregate> per_dataset;
   int significant_vs_expected = 0;  ///< paired t-test per dataset, alpha=.05

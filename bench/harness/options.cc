@@ -27,6 +27,8 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   o.seed = static_cast<uint64_t>(EnvLong("CVCP_SEED",
                                          static_cast<long>(o.seed)));
   o.threads = static_cast<int>(EnvLong("CVCP_THREADS", o.threads));
+  o.trial_threads =
+      static_cast<int>(EnvLong("CVCP_TRIAL_THREADS", o.trial_threads));
   for (int i = 1; i < argc; ++i) {
     auto next_long = [&](long fallback) {
       return i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : fallback;
@@ -46,12 +48,15 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       o.seed = static_cast<uint64_t>(next_long(static_cast<long>(o.seed)));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       o.threads = static_cast<int>(next_long(o.threads));
+    } else if (std::strcmp(argv[i], "--trial-threads") == 0) {
+      o.trial_threads = static_cast<int>(next_long(o.trial_threads));
     }
   }
   if (o.trials < 2) o.trials = 2;  // paired t-test needs >= 2
   if (o.n_folds < 2) o.n_folds = 2;
   if (o.aloi_datasets < 1) o.aloi_datasets = 1;
   if (o.threads < 0) o.threads = 0;  // 0 = all hardware threads
+  if (o.trial_threads < 0) o.trial_threads = 0;  // 0 = automatic split
   return o;
 }
 
@@ -60,17 +65,26 @@ void PrintBanner(const BenchOptions& options, const std::string& title,
   std::printf("=== %s ===\n", title.c_str());
   std::printf("reproduces: %s (Pourrajabi et al., EDBT 2014)\n",
               paper_ref.c_str());
-  char threads[32];
+  char threads[64];
   if (options.threads > 0) {
     std::snprintf(threads, sizeof(threads), "%d threads", options.threads);
   } else {
     std::snprintf(threads, sizeof(threads), "all hardware threads");
   }
+  char lanes[64];
+  if (options.trial_threads == 0) {
+    std::snprintf(lanes, sizeof(lanes), "auto trial lanes");
+  } else if (options.trial_threads == 1) {
+    std::snprintf(lanes, sizeof(lanes), "serial trials");
+  } else {
+    std::snprintf(lanes, sizeof(lanes), "%d trial lanes",
+                  options.trial_threads);
+  }
   std::printf(
-      "scale: %d trials, %zu ALOI sets, %d-fold CV, seed %llu, %s "
+      "scale: %d trials, %zu ALOI sets, %d-fold CV, seed %llu, %s, %s "
       "(--paper for full scale)\n\n",
       options.trials, options.aloi_datasets, options.n_folds,
-      static_cast<unsigned long long>(options.seed), threads);
+      static_cast<unsigned long long>(options.seed), threads, lanes);
 }
 
 }  // namespace cvcp::bench

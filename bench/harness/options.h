@@ -21,10 +21,16 @@ struct BenchOptions {
   /// CVCP execution-engine threads; 0 = all hardware threads. Results are
   /// identical for any value (env CVCP_THREADS).
   int threads = 0;
+  /// Nesting mode for the outer experiment loops (trials / ALOI datasets):
+  /// 0 = automatic budget split, 1 = serial outer loops (whole budget to
+  /// the CVCP cells), N > 1 = exactly N outer lanes. Results are identical
+  /// for any value (env CVCP_TRIAL_THREADS).
+  int trial_threads = 0;
 };
 
 /// Parses env vars, then `--paper` / `--trials N` / `--aloi N` /
-/// `--folds N` / `--seed N` / `--threads N` flags (flags win).
+/// `--folds N` / `--seed N` / `--threads N` / `--trial-threads N` flags
+/// (flags win).
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 /// One-line banner describing the reproduction target and the scale.

@@ -26,6 +26,7 @@ TrialSpec SpecFor(const PaperBenchContext& ctx, BenchAlgo algo,
   spec.grid = GridFor(algo, num_classes);
   spec.with_silhouette = algo != BenchAlgo::kFosc;
   spec.exec.threads = ctx.options.threads;
+  spec.trial_threads = ctx.options.trial_threads;
   return spec;
 }
 
@@ -168,11 +169,10 @@ void RunBoxplotFigure(const PaperBenchContext& ctx, BenchAlgo algo,
     boxes.push_back(
         {"Exp-" + lvl, BoxplotStats::FromSamples(agg.pooled.exp_values)});
     if (with_sil) {
-      std::vector<double> sil;
-      for (double v : agg.pooled.sil_values) {
-        if (!std::isnan(v)) sil.push_back(v);
-      }
-      boxes.push_back({"Sil-" + lvl, BoxplotStats::FromSamples(sil)});
+      // FromSamples drops NaNs itself and keeps the total count, so the
+      // rendered "n=defined/total" shows how many trials had no pick.
+      boxes.push_back(
+          {"Sil-" + lvl, BoxplotStats::FromSamples(agg.pooled.sil_values)});
     }
   }
   // Shared axis across all boxes.

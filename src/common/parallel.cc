@@ -16,6 +16,27 @@ int ExecutionContext::ResolvedThreads() const {
   return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 }
 
+NestedBudget SplitBudget(const ExecutionContext& exec, size_t outer_size,
+                         int outer_threads) {
+  const int total = exec.ResolvedThreads();
+  NestedBudget split;
+  if (outer_threads > 0) {
+    // Explicit nesting mode: the caller fixes the outer width; a serial
+    // outer loop hands the whole budget to the inner level.
+    split.outer.threads = std::min(outer_threads, total);
+    split.inner.threads = split.outer.threads > 1 ? 1 : total;
+    return split;
+  }
+  if (total > 1 && outer_size >= static_cast<size_t>(total)) {
+    split.outer.threads = total;
+    split.inner.threads = 1;
+  } else {
+    split.outer.threads = 1;
+    split.inner.threads = total;
+  }
+  return split;
+}
+
 void ParallelFor(const ExecutionContext& exec, size_t n,
                  const std::function<void(size_t)>& fn) {
   if (n == 0) return;

@@ -9,6 +9,7 @@
 /// bit-identical for every thread count — parallelism changes wall time,
 /// never results.
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 
@@ -34,6 +35,36 @@ struct ExecutionContext {
   bool operator==(const ExecutionContext&) const = default;
 };
 
+/// A thread budget divided between two nesting levels: an outer
+/// data-parallel loop and the parallel work nested inside each of its
+/// iterations (e.g. trials outside, CVCP grid×fold cells inside).
+struct NestedBudget {
+  ExecutionContext outer;
+  ExecutionContext inner;
+};
+
+/// Splits `exec`'s budget between an outer loop of `outer_size` iterations
+/// and the work nested inside each iteration. Because nested ParallelFor
+/// calls on a pool worker run inline, the pool is never oversubscribed:
+/// the meaningful choice is *which* level spends the budget, not how to
+/// multiply widths.
+///
+/// `outer_threads` == 0 picks automatically: the whole budget goes to the
+/// outermost level that can absorb it (`outer_size >=` resolved threads),
+/// because outer iterations are the coarsest units — per-cell timings show
+/// highly uneven cell costs, and coarse tasks claimed dynamically amortize
+/// scheduling overhead and balance that skew best — and otherwise the
+/// budget drops to the inner level so small outer loops still scale.
+/// `outer_threads` == 1 forces the outer loop serial (all budget inner);
+/// `outer_threads` > 1 forces that many outer lanes (capped at the
+/// budget), inner serial.
+///
+/// Either way both returned contexts have concrete (resolved) thread
+/// counts and results are identical to the serial schedule whenever the
+/// loop bodies follow the engine's slot-writing discipline.
+NestedBudget SplitBudget(const ExecutionContext& exec, size_t outer_size,
+                         int outer_threads = 0);
+
 /// Runs `fn(i)` for every i in [0, n). With a resolved thread count of 1
 /// (or when already on a pool worker — nested parallel sections run
 /// inline) this is a plain ascending loop; otherwise indices are claimed
@@ -46,6 +77,36 @@ struct ExecutionContext {
 /// per-index result slots (as ScoreGridOnFolds does) rather than throw.
 void ParallelFor(const ExecutionContext& exec, size_t n,
                  const std::function<void(size_t)>& fn);
+
+/// Tracks the lowest failing index of a ParallelFor fan-out whose
+/// reduction is first-error-wins. Because ParallelFor claims indices in
+/// ascending order, every index below a recorded failure is already
+/// claimed and will finish, so iterations above it may be skipped without
+/// changing which error the in-order reduction reports — the serial
+/// stop-at-first-error semantics, minus the wasted work.
+class FirstErrorTracker {
+ public:
+  /// `n` = iteration count; "no failure yet" is represented as n.
+  explicit FirstErrorTracker(size_t n) : first_{n} {}
+
+  /// True when `i` is above the lowest recorded failure and its work can
+  /// be skipped.
+  bool ShouldSkip(size_t i) const {
+    return i > first_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a failure at `i` (atomic minimum).
+  void Record(size_t i) {
+    size_t lowest = first_.load(std::memory_order_relaxed);
+    while (i < lowest &&
+           !first_.compare_exchange_weak(lowest, i,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<size_t> first_;
+};
 
 }  // namespace cvcp
 

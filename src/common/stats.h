@@ -10,6 +10,7 @@
 /// incomplete beta function (continued fraction; Lentz's algorithm).
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -46,11 +47,14 @@ double RegularizedIncompleteBeta(double a, double b, double x);
 double StudentTCdf(double t, double df);
 
 /// Result of a paired two-sided t-test between two equal-length samples.
+/// Default-constructed, every statistic is NaN ("no test ran"), so
+/// SignificantAt is false — never treat an absent test as significant.
 struct PairedTTestResult {
-  double t_statistic;  ///< NaN when undefined (n < 2 or zero-variance diffs)
-  double p_value;      ///< two-sided; NaN when undefined
-  double mean_diff;    ///< mean(a) - mean(b)
-  size_t n;            ///< number of pairs
+  /// NaN when undefined (n < 2 or zero-variance diffs).
+  double t_statistic = std::numeric_limits<double>::quiet_NaN();
+  double p_value = std::numeric_limits<double>::quiet_NaN();  ///< two-sided
+  double mean_diff = std::numeric_limits<double>::quiet_NaN();  ///< mean(a-b)
+  size_t n = 0;  ///< number of pairs
 
   /// True if the difference is significant at level `alpha`.
   bool SignificantAt(double alpha) const;

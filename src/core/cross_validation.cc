@@ -66,13 +66,12 @@ Result<std::vector<CvScore>> ScoreGridOnFolds(
   }
 
   std::vector<CvCellResult> results(n_cells);
-  // Lowest failing cell index so far. Any error discards all scores, and
-  // ParallelFor claims indices in ascending order (every cell below a
-  // recorded failure is already claimed and will finish), so cells above
-  // it can be skipped without changing which error is returned.
-  std::atomic<size_t> first_error{n_cells};
+  // Any error discards all scores, so cells above the lowest failure are
+  // skipped (see FirstErrorTracker for why that preserves which error the
+  // in-order reduction returns).
+  FirstErrorTracker first_error(n_cells);
   auto run_cell = [&](size_t c) {
-    if (c > first_error.load(std::memory_order_relaxed)) return;
+    if (first_error.ShouldSkip(c)) return;
     const CvCell& cell = cells[c];
     const FoldSplit& fold = folds[cell.fold];
     const auto start = std::chrono::steady_clock::now();
@@ -92,11 +91,7 @@ Result<std::vector<CvScore>> ScoreGridOnFolds(
               .average;
     } else {
       out.status = clustering.status();
-      size_t lowest = first_error.load(std::memory_order_relaxed);
-      while (c < lowest &&
-             !first_error.compare_exchange_weak(lowest, c,
-                                                std::memory_order_relaxed)) {
-      }
+      first_error.Record(c);
     }
     out.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)

@@ -20,7 +20,11 @@ Result<SilhouetteSelection> SelectBySilhouette(
   bool have_best = false;
   for (size_t gi = 0; gi < param_grid.size(); ++gi) {
     const int param = param_grid[gi];
-    Rng run_rng = rng->Fork(static_cast<uint64_t>(param));
+    // Fork by grid *index*, not value: duplicate grid entries must get
+    // independent streams, negative params must not wrap through the
+    // uint64_t cast, and the harness's full-supervision sweep forks by
+    // index — same rng, same position, same clustering in both.
+    Rng run_rng = rng->Fork(gi);
     CVCP_ASSIGN_OR_RETURN(
         Clustering clustering,
         clusterer.Cluster(data, supervision, param, &run_rng));

@@ -28,9 +28,11 @@ struct SilhouetteSelection {
 };
 
 /// Runs the clusterer with full supervision at every grid value and picks
-/// the clustering with the highest silhouette coefficient. Errors with
-/// kInvalidArgument for an empty grid and kFailedPrecondition if every
-/// silhouette is undefined.
+/// the clustering with the highest silhouette coefficient. Each run's RNG
+/// is forked from `rng` by grid *index* — the same scheme as the bench
+/// harness's full-supervision sweep, so both entry points produce the same
+/// clustering at the same grid position. Errors with kInvalidArgument for
+/// an empty grid and kFailedPrecondition if every silhouette is undefined.
 Result<SilhouetteSelection> SelectBySilhouette(
     const Dataset& data, const Supervision& supervision,
     const SemiSupervisedClusterer& clusterer, std::span<const int> param_grid,

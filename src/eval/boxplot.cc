@@ -12,6 +12,8 @@ namespace cvcp {
 
 BoxplotStats BoxplotStats::FromSamples(std::vector<double> samples) {
   BoxplotStats s;
+  s.n_total = samples.size();
+  std::erase_if(samples, [](double v) { return std::isnan(v); });
   s.n = samples.size();
   if (samples.empty()) {
     const double nan = std::numeric_limits<double>::quiet_NaN();
@@ -44,7 +46,16 @@ BoxplotStats BoxplotStats::FromSamples(std::vector<double> samples) {
 std::string RenderBoxplots(const std::vector<LabeledBox>& boxes, double lo,
                            double hi, int width) {
   CVCP_CHECK_GT(width, 10);
-  CVCP_CHECK_GT(hi, lo);
+  CVCP_CHECK_GE(hi, lo);
+  if (hi <= lo) {
+    // Degenerate axis (every pooled value equal): widen symmetrically so
+    // the figure still renders instead of aborting the bench.
+    const double mid = 0.5 * (lo + hi);
+    double pad = std::fabs(mid) * 0.05;
+    if (pad == 0.0) pad = 0.5;
+    lo = mid - pad;
+    hi = mid + pad;
+  }
   size_t label_width = 0;
   for (const auto& b : boxes) label_width = std::max(label_width, b.label.size());
 
@@ -81,9 +92,14 @@ std::string RenderBoxplots(const std::vector<LabeledBox>& boxes, double lo,
   out += Format("%*s  axis: [%.3f, %.3f]   ([=#=] box+median, |--| whiskers, o outliers)\n",
                 static_cast<int>(label_width), "", lo, hi);
   for (const auto& b : boxes) {
+    // "n=defined/total" when NaN samples were dropped from the stats.
+    std::string n_text = Format("%zu", b.stats.n);
+    if (b.stats.n_total > b.stats.n) {
+      n_text += Format("/%zu", b.stats.n_total);
+    }
     out += Format(
-        "%-*s  n=%-3zu min=%s q1=%s med=%s q3=%s max=%s\n",
-        static_cast<int>(label_width), b.label.c_str(), b.stats.n,
+        "%-*s  n=%-7s min=%s q1=%s med=%s q3=%s max=%s\n",
+        static_cast<int>(label_width), b.label.c_str(), n_text.c_str(),
         FormatDouble(b.stats.min).c_str(), FormatDouble(b.stats.q1).c_str(),
         FormatDouble(b.stats.median).c_str(), FormatDouble(b.stats.q3).c_str(),
         FormatDouble(b.stats.max).c_str());

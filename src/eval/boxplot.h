@@ -21,9 +21,13 @@ struct BoxplotStats {
   double whisker_low = 0.0;  ///< lowest point within q1 - 1.5 IQR
   double whisker_high = 0.0; ///< highest point within q3 + 1.5 IQR
   std::vector<double> outliers;
-  size_t n = 0;
+  size_t n = 0;        ///< defined (non-NaN) samples the stats are over
+  size_t n_total = 0;  ///< all samples given, including NaN ones
 
-  /// Computes the statistics; NaN-filled for an empty sample.
+  /// Computes the statistics over the defined (non-NaN) samples — sorting
+  /// NaNs would be undefined behavior and poison every quantile, and
+  /// pooled experiment series legitimately contain NaN entries. NaN-filled
+  /// (with n = 0) when no sample is defined.
   static BoxplotStats FromSamples(std::vector<double> samples);
 };
 
@@ -38,7 +42,10 @@ struct LabeledBox {
 ///   CVCP-10  |      |----[  =|=  ]-------|        o
 ///
 /// (whiskers |---|, box [ ], median =|=, outliers o). Also appends a
-/// numeric five-number summary per box.
+/// numeric five-number summary per box (n shown as defined/total when NaN
+/// samples were dropped). A degenerate axis (hi == lo, e.g. every pooled
+/// value equal) is widened symmetrically rather than rejected; hi < lo is
+/// still a programming error (checked).
 std::string RenderBoxplots(const std::vector<LabeledBox>& boxes, double lo,
                            double hi, int width = 60);
 

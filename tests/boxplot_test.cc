@@ -33,7 +33,35 @@ TEST(BoxplotStatsTest, OutlierDetection) {
 TEST(BoxplotStatsTest, EmptySampleIsNaN) {
   BoxplotStats s = BoxplotStats::FromSamples({});
   EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.n_total, 0u);
   EXPECT_TRUE(std::isnan(s.median));
+}
+
+TEST(BoxplotStatsTest, NanSamplesAreDroppedBeforeSorting) {
+  // Pooled experiment series legitimately contain NaN (undefined scores);
+  // sorting them is UB and used to poison every quantile.
+  const double nan = std::nan("");
+  BoxplotStats s =
+      BoxplotStats::FromSamples({nan, 1, 2, nan, 3, 4, 5, 6, 7, 8, 9, nan});
+  EXPECT_EQ(s.n, 9u);
+  EXPECT_EQ(s.n_total, 12u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_TRUE(s.outliers.empty());
+}
+
+TEST(BoxplotStatsTest, AllNanSampleBehavesLikeEmpty) {
+  const double nan = std::nan("");
+  BoxplotStats s = BoxplotStats::FromSamples({nan, nan, nan});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.n_total, 3u);
+  EXPECT_TRUE(std::isnan(s.min));
+  EXPECT_TRUE(std::isnan(s.median));
+  EXPECT_TRUE(std::isnan(s.max));
+  EXPECT_TRUE(s.outliers.empty());
 }
 
 TEST(BoxplotStatsTest, SingleValue) {
@@ -56,6 +84,32 @@ TEST(RenderBoxplotsTest, ContainsLabelsAndGlyphs) {
   EXPECT_NE(out.find(']'), std::string::npos);
   EXPECT_NE(out.find('#'), std::string::npos);
   EXPECT_NE(out.find("med="), std::string::npos);
+}
+
+TEST(RenderBoxplotsTest, DegenerateAxisIsWidenedInsteadOfAborting) {
+  // All pooled values equal used to trip CVCP_CHECK_GT(hi, lo) and abort
+  // the fig09-fig12 benches.
+  std::vector<LabeledBox> boxes = {
+      {"flat", BoxplotStats::FromSamples({0.7, 0.7, 0.7})}};
+  const std::string out = RenderBoxplots(boxes, 0.7, 0.7, 40);
+  EXPECT_NE(out.find("flat"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  // The widened axis is symmetric around the degenerate value.
+  EXPECT_NE(out.find("axis: [0.665, 0.735]"), std::string::npos) << out;
+}
+
+TEST(RenderBoxplotsTest, ReportsDefinedAndTotalCounts) {
+  const double nan = std::nan("");
+  std::vector<LabeledBox> boxes = {
+      {"sil", BoxplotStats::FromSamples({0.2, nan, 0.4, 0.6, nan})}};
+  const std::string out = RenderBoxplots(boxes, 0.0, 1.0, 40);
+  EXPECT_NE(out.find("n=3/5"), std::string::npos) << out;
+}
+
+TEST(RenderBoxplotsDeathTest, InvertedAxisStillChecks) {
+  std::vector<LabeledBox> boxes = {
+      {"box", BoxplotStats::FromSamples({0.5})}};
+  EXPECT_DEATH(RenderBoxplots(boxes, 1.0, 0.0, 40), "hi");
 }
 
 TEST(RenderBoxplotsTest, EmptyBoxRendersBlank) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "data/generators.h"
 #include "data/paper_suites.h"
 #include "harness/experiment.h"
 #include "harness/options.h"
@@ -92,6 +93,76 @@ TEST(RunTrialTest, FoscSkipsSilhouette) {
   EXPECT_TRUE(std::isnan(t.silhouette_external));
 }
 
+TEST(TrialResultTest, SelectorQualitiesDefaultToUndefinedNotZero) {
+  // A stale 0.0 default used to be aggregated as a real score whenever a
+  // quantity was never assigned, biasing means downward.
+  TrialResult t;
+  EXPECT_TRUE(std::isnan(t.cvcp_external));
+  EXPECT_TRUE(std::isnan(t.silhouette_external));
+}
+
+TEST(CellAggregateTest, FinalizeDropsUndefinedPairsPairwise) {
+  const double nan = std::nan("");
+  CellAggregate agg;
+  agg.cvcp_values = {0.8, nan, 0.6, 0.9};
+  agg.exp_values = {0.5, 0.4, nan, 0.6};
+  agg.sil_values = {0.7, 0.2, 0.5, nan};
+  agg.correlations = {0.9, nan, 0.8, 0.7};
+  agg.Finalize(/*with_silhouette=*/true);
+  // Means/stds are over each series' defined entries.
+  EXPECT_NEAR(agg.cvcp_mean, (0.8 + 0.6 + 0.9) / 3.0, 1e-12);
+  EXPECT_FALSE(std::isnan(agg.cvcp_std));
+  EXPECT_NEAR(agg.exp_mean, 0.5, 1e-12);
+  EXPECT_NEAR(agg.corr_mean, 0.8, 1e-12);
+  // T-tests keep only the positions where both sides are defined:
+  // cvcp-vs-exp pairs (0.8, 0.5) and (0.9, 0.6).
+  EXPECT_EQ(agg.cvcp_vs_exp.n, 2u);
+  EXPECT_NEAR(agg.cvcp_vs_exp.mean_diff, 0.3, 1e-12);
+  // cvcp-vs-sil pairs (0.8, 0.7) and (0.6, 0.5).
+  EXPECT_EQ(agg.cvcp_vs_sil.n, 2u);
+  EXPECT_NEAR(agg.cvcp_vs_sil.mean_diff, 0.1, 1e-12);
+}
+
+TEST(CellAggregateTest, FewerThanTwoDefinedPairsIsNeverSignificant) {
+  const double nan = std::nan("");
+  CellAggregate agg;
+  agg.cvcp_values = {0.8, nan, nan};
+  agg.exp_values = {0.5, 0.4, 0.3};
+  agg.sil_values = {nan, nan, nan};
+  agg.correlations = {nan, nan, nan};
+  agg.Finalize(/*with_silhouette=*/true);
+  EXPECT_TRUE(std::isnan(agg.cvcp_vs_exp.p_value));
+  EXPECT_FALSE(agg.cvcp_vs_exp.SignificantAt(0.05));
+  EXPECT_FALSE(agg.cvcp_vs_sil.SignificantAt(0.05));
+  EXPECT_EQ(SigMarker(agg.cvcp_vs_exp), "");
+  EXPECT_NEAR(agg.cvcp_mean, 0.8, 1e-12);
+  EXPECT_TRUE(std::isnan(agg.cvcp_std));  // only one defined value
+  EXPECT_TRUE(std::isnan(agg.sil_mean));
+  EXPECT_TRUE(std::isnan(agg.corr_mean));
+}
+
+TEST(RunExperimentTest, FullSupervisionDoesNotPoisonAggregates) {
+  // With every object labeled, all external F-measures are undefined; the
+  // trials must still count as ok and the NaNs must stay contained ("—"
+  // table cells, no significance) instead of poisoning the aggregation.
+  Rng data_rng(77);
+  Dataset data = MakeBlobs("blobs", 3, 12, 2, 25.0, 1.0, &data_rng);
+  MpckMeansClusterer clusterer;
+  TrialSpec spec = LabelSpec();
+  spec.level = 1.0;
+  spec.grid = {2, 3, 4};
+  spec.n_folds = 3;
+  const CellAggregate agg =
+      RunExperiment(data, clusterer, spec, /*trials=*/3, /*seed=*/11);
+  EXPECT_EQ(agg.trials_ok, 3);
+  ASSERT_EQ(agg.cvcp_values.size(), 3u);
+  for (double v : agg.cvcp_values) EXPECT_TRUE(std::isnan(v));
+  EXPECT_TRUE(std::isnan(agg.cvcp_mean));
+  EXPECT_EQ(FormatMeanStd(agg.cvcp_mean, agg.cvcp_std), "—");
+  EXPECT_FALSE(agg.cvcp_vs_exp.SignificantAt(0.05));
+  EXPECT_EQ(SigMarker(agg.cvcp_vs_exp), "");
+}
+
 TEST(RunExperimentTest, AggregatesMatchTrialValues) {
   Dataset data = MakeAloiK5Like(1, 3);
   MpckMeansClusterer clusterer;
@@ -126,6 +197,15 @@ TEST(BenchOptionsTest, FlagsOverrideDefaults) {
   EXPECT_EQ(o.aloi_datasets, 3u);
   EXPECT_EQ(o.n_folds, 4);
   EXPECT_EQ(o.seed, 123u);
+}
+
+TEST(BenchOptionsTest, TrialThreadsFlagParsedAndClamped) {
+  const char* argv[] = {"bench", "--trial-threads", "4"};
+  const BenchOptions o = ParseBenchOptions(3, const_cast<char**>(argv));
+  EXPECT_EQ(o.trial_threads, 4);
+  const char* negative[] = {"bench", "--trial-threads", "-2"};
+  const BenchOptions o2 = ParseBenchOptions(3, const_cast<char**>(negative));
+  EXPECT_EQ(o2.trial_threads, 0);  // 0 = automatic split
 }
 
 TEST(BenchOptionsTest, PaperFlagRestoresPaperScale) {

@@ -29,6 +29,82 @@ TEST(ExecutionContextTest, SerialForcesOneThread) {
   EXPECT_EQ(ExecutionContext::Serial().ResolvedThreads(), 1);
 }
 
+TEST(SplitBudgetTest, AutoSpendsBudgetAtOuterLevelWhenItCanAbsorbIt) {
+  ExecutionContext exec;
+  exec.threads = 4;
+  const NestedBudget split = SplitBudget(exec, /*outer_size=*/50);
+  EXPECT_EQ(split.outer.threads, 4);
+  EXPECT_EQ(split.inner.threads, 1);
+}
+
+TEST(SplitBudgetTest, AutoDropsBudgetToInnerLevelForSmallOuterLoops) {
+  ExecutionContext exec;
+  exec.threads = 8;
+  const NestedBudget split = SplitBudget(exec, /*outer_size=*/3);
+  EXPECT_EQ(split.outer.threads, 1);
+  EXPECT_EQ(split.inner.threads, 8);
+}
+
+TEST(SplitBudgetTest, SerialBudgetStaysSerialEverywhere) {
+  const NestedBudget split =
+      SplitBudget(ExecutionContext::Serial(), /*outer_size=*/100);
+  EXPECT_EQ(split.outer.threads, 1);
+  EXPECT_EQ(split.inner.threads, 1);
+}
+
+TEST(SplitBudgetTest, ForcedSerialOuterHandsBudgetInside) {
+  ExecutionContext exec;
+  exec.threads = 6;
+  const NestedBudget split =
+      SplitBudget(exec, /*outer_size=*/50, /*outer_threads=*/1);
+  EXPECT_EQ(split.outer.threads, 1);
+  EXPECT_EQ(split.inner.threads, 6);
+}
+
+TEST(SplitBudgetTest, ForcedOuterLanesAreCappedAtTheBudget) {
+  ExecutionContext exec;
+  exec.threads = 4;
+  const NestedBudget split =
+      SplitBudget(exec, /*outer_size=*/50, /*outer_threads=*/16);
+  EXPECT_EQ(split.outer.threads, 4);
+  EXPECT_EQ(split.inner.threads, 1);
+}
+
+TEST(SplitBudgetTest, ReturnsResolvedCountsForZeroThreadBudget) {
+  ExecutionContext exec;  // 0 = all hardware threads
+  const NestedBudget split = SplitBudget(exec, /*outer_size=*/1'000'000);
+  EXPECT_GE(split.outer.threads, 1);
+  EXPECT_GE(split.inner.threads, 1);
+  // Exactly one level spends the budget; the other stays serial.
+  EXPECT_TRUE(split.outer.threads == 1 || split.inner.threads == 1);
+}
+
+TEST(FirstErrorTrackerTest, TracksTheMinimumFailingIndex) {
+  FirstErrorTracker tracker(100);
+  EXPECT_FALSE(tracker.ShouldSkip(99));  // no failure yet
+  tracker.Record(40);
+  EXPECT_TRUE(tracker.ShouldSkip(41));
+  EXPECT_FALSE(tracker.ShouldSkip(40));  // the failure itself
+  EXPECT_FALSE(tracker.ShouldSkip(10));  // below: already claimed, runs
+  tracker.Record(70);  // higher failure never raises the minimum
+  EXPECT_TRUE(tracker.ShouldSkip(41));
+  tracker.Record(5);
+  EXPECT_TRUE(tracker.ShouldSkip(6));
+  EXPECT_FALSE(tracker.ShouldSkip(5));
+}
+
+TEST(FirstErrorTrackerTest, SkipsNothingUnderConcurrentRecords) {
+  // Records from many pool tasks must settle on the global minimum.
+  FirstErrorTracker tracker(1000);
+  ExecutionContext exec;
+  exec.threads = 8;
+  ParallelFor(exec, 1000, [&](size_t i) {
+    if (i % 7 == 3) tracker.Record(i);
+  });
+  EXPECT_FALSE(tracker.ShouldSkip(3));
+  EXPECT_TRUE(tracker.ShouldSkip(4));
+}
+
 TEST(ThreadPoolTest, SubmitReturnsFutureWithValue) {
   ThreadPool pool(2);
   EXPECT_EQ(pool.num_threads(), 2);

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 
+#include "cluster/silhouette.h"
 #include "common/rng.h"
 #include "data/generators.h"
 
@@ -44,6 +47,35 @@ TEST(SelectBySilhouetteTest, SkipsUndefinedSilhouettes) {
   ASSERT_TRUE(sel.ok());
   EXPECT_EQ(sel->best_param, 2);
   EXPECT_TRUE(std::isnan(sel->silhouettes[0]));
+}
+
+TEST(SelectBySilhouetteTest, ForksByGridIndexMatchingTheHarnessSweep) {
+  Rng data_rng(5);
+  Dataset data = MakeBlobs("blobs", 3, 25, 2, 30.0, 1.0, &data_rng);
+  Supervision supervision = Supervision::FromConstraints(ConstraintSet{});
+  KMeansClusterer clusterer;
+  // Duplicates and unsorted entries on purpose: forking by grid *value*
+  // used to give duplicate entries identical streams and disagree with the
+  // harness sweep, which forks by grid index.
+  std::vector<int> grid = {4, 2, 3, 2};
+  Rng sel_rng(42);
+  auto sel = SelectBySilhouette(data, supervision, clusterer, grid, &sel_rng);
+  ASSERT_TRUE(sel.ok());
+  ASSERT_EQ(sel->silhouettes.size(), grid.size());
+
+  // The harness's full-supervision sweep: same rng seed, fork by index.
+  // Every per-position silhouette must agree bitwise.
+  for (size_t gi = 0; gi < grid.size(); ++gi) {
+    Rng run_rng = Rng(42).Fork(gi);
+    auto clustering =
+        clusterer.Cluster(data, supervision, grid[gi], &run_rng);
+    ASSERT_TRUE(clustering.ok()) << "grid index " << gi;
+    const double sil =
+        SilhouetteCoefficient(data.points(), clustering.value());
+    EXPECT_EQ(std::bit_cast<uint64_t>(sil),
+              std::bit_cast<uint64_t>(sel->silhouettes[gi]))
+        << "grid index " << gi;
+  }
 }
 
 TEST(ExpectedQualityTest, MeanOverDefinedEntries) {
