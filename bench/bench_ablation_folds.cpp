@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     spec.grid = DefaultMinPtsGrid();
     spec.exec.threads = options.threads;
     spec.trial_threads = options.trial_threads;
+    spec.nesting = options.nesting;
 
     AloiAggregate aloi = RunAloiExperiment(ctx.aloi, fosc, spec,
                                            options.trials, options.seed);

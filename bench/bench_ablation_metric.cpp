@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     spec.n_folds = options.n_folds;
     spec.exec.threads = options.threads;
     spec.trial_threads = options.trial_threads;
+    spec.nesting = options.nesting;
     spec.grid = MakeKGrid(wine.NumClasses());
     CellAggregate wine_cell =
         RunExperiment(wine, clusterer, spec, options.trials, options.seed);

@@ -2,8 +2,10 @@
 // closure, fold splitting, OPTICS, k-means, MPCKMeans iterations, FOSC
 // extraction and the constraint F-measure. These track the cost model
 // behind the paper-scale benches. Before the google-benchmark suites run,
-// main() prints a serial-vs-parallel CVCP scaling table for the parallel
-// execution engine.
+// main() prints three scaling tables for the parallel execution engine:
+// CVCP serial-vs-parallel (with cost-model cell ordering), the
+// trial-level fan-out on a wide outer loop, and nested-width vs
+// split-budget scheduling on the narrow-outer/wide-inner scenario.
 
 #include <benchmark/benchmark.h>
 
@@ -140,8 +142,11 @@ BENCHMARK(BM_ConstraintFMeasure)->Arg(25)->Arg(50)->Arg(100);
 
 // Serial-vs-parallel CVCP wall time on the engine's target workload: a
 // 10-fold × 8-value MPCKMeans grid (80 clustering cells per run). Also
-// cross-checks that every thread count selects the same parameter with the
-// same score — the engine's determinism guarantee.
+// cross-checks that every configuration selects the same parameter with
+// the same score — the engine's determinism guarantee. The final row
+// feeds the first parallel run's measured cell_timings back into the cost
+// model (CellCostModel::prior_timings), so cells are scheduled
+// measured-longest-first instead of estimate-longest-first.
 void PrintCvcpScalingTable() {
   Dataset data = BenchData(/*per_cluster=*/40, /*k=*/5, /*dims=*/16);
   Rng rng(23);
@@ -153,6 +158,7 @@ void PrintCvcpScalingTable() {
   CvcpConfig config;
   config.cv.n_folds = 10;
   config.param_grid = {2, 3, 4, 5, 6, 7, 8, 9};
+  config.collect_timings = true;
 
   const int hw = static_cast<int>(
       std::max(1u, std::thread::hardware_concurrency()));
@@ -165,13 +171,14 @@ void PrintCvcpScalingTable() {
       "(MPCKMeans, %d-fold x %zu-value grid, n=%zu, %d hardware threads) "
       "===\n",
       config.cv.n_folds, config.param_grid.size(), data.size(), hw);
-  std::printf("%-8s %12s %10s %s\n", "threads", "wall_ms", "speedup",
-              "matches serial");
+  std::printf("%-16s %8s %12s %10s %10s %s\n", "cost model", "threads",
+              "wall_ms", "speedup", "efficiency", "matches serial");
 
   double serial_ms = 0.0;
   int serial_best = 0;
   double serial_score = 0.0;
-  for (int threads : thread_counts) {
+  std::vector<CvCellTiming> measured;
+  auto run_row = [&](const char* label, int threads) {
     config.cv.exec.threads = threads;
     Rng run_rng(29);
     const auto start = std::chrono::steady_clock::now();
@@ -184,23 +191,79 @@ void PrintCvcpScalingTable() {
       serial_ms = ms;
       serial_best = report->best_param;
       serial_score = report->best_score;
-      std::printf("%-8d %12.1f %9.2fx %s\n", threads, ms, 1.0, "(baseline)");
+      std::printf("%-16s %8d %12.1f %9.2fx %9.2f%% %s\n", label, threads, ms,
+                  1.0, 100.0, "(baseline)");
     } else {
+      if (measured.empty()) measured = report->cell_timings;
       const bool matches = report->best_param == serial_best &&
                            report->best_score == serial_score;
-      std::printf("%-8d %12.1f %9.2fx %s\n", threads, ms, serial_ms / ms,
+      const double speedup = serial_ms / ms;
+      std::printf("%-16s %8d %12.1f %9.2fx %9.2f%% %s\n", label, threads, ms,
+                  speedup, 100.0 * speedup / threads,
                   matches ? "yes" : "NO — DETERMINISM BUG");
     }
+  };
+  for (int threads : thread_counts) {
+    run_row(threads == 1 ? "(serial)" : "size estimate", threads);
+  }
+  if (hw >= 2) {
+    // Re-run at full width with the measured timings as the cost model.
+    config.cv.cost.prior_timings = measured;
+    run_row("prior timings", hw);
+    config.cv.cost.prior_timings.clear();
   }
   std::printf("\n");
 }
 
+// Shared row-runner for the two RunExperiment scaling tables: runs one
+// engine configuration, prints wall time plus the derived
+// speedup-vs-serial and efficiency (speedup / threads) columns, and
+// cross-checks the engine's guarantee that every configuration produces
+// bit-identical aggregates.
+struct ExperimentScalingBaseline {
+  double serial_ms = 0.0;
+  uint64_t serial_mean_bits = 0;
+  int serial_ok = 0;
+};
+
+void RunExperimentScalingRow(const Dataset& data,
+                             const MpckMeansClusterer& clusterer,
+                             cvcp::bench::TrialSpec spec, int trials,
+                             const char* label, int threads,
+                             int trial_threads,
+                             cvcp::NestingPolicy nesting,
+                             ExperimentScalingBaseline* baseline) {
+  spec.exec.threads = threads;
+  spec.trial_threads = trial_threads;
+  spec.nesting = nesting;
+  const auto start = std::chrono::steady_clock::now();
+  const cvcp::bench::CellAggregate agg =
+      cvcp::bench::RunExperiment(data, clusterer, spec, trials, /*seed=*/31);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  const uint64_t mean_bits = std::bit_cast<uint64_t>(agg.cvcp_mean);
+  if (threads == 1) {
+    baseline->serial_ms = ms;
+    baseline->serial_mean_bits = mean_bits;
+    baseline->serial_ok = agg.trials_ok;
+    std::printf("%-14s %8d %12.1f %9.2fx %9.2f%% %s\n", label, threads, ms,
+                1.0, 100.0, "(baseline)");
+  } else {
+    const bool matches = mean_bits == baseline->serial_mean_bits &&
+                         agg.trials_ok == baseline->serial_ok;
+    const double speedup = baseline->serial_ms / ms;
+    std::printf("%-14s %8d %12.1f %9.2fx %9.2f%% %s\n", label, threads, ms,
+                speedup, 100.0 * speedup / threads,
+                matches ? "yes" : "NO — DETERMINISM BUG");
+  }
+}
+
 // Serial-vs-parallel wall time for the *trial-level* fan-out in
-// RunExperiment: fully serial, inner (CVCP grid×fold) parallelism only
-// (`trial_threads = 1`, the pre-trial-parallel engine), and the automatic
-// budget split (trial lanes outside, CVCP cells inline). Also cross-checks
-// the engine's guarantee that every configuration produces bit-identical
-// aggregates.
+// RunExperiment on a wide outer loop (many trials): fully serial, inner
+// (CVCP grid×fold) parallelism only (`trial_threads = 1`, the
+// pre-trial-parallel engine), the all-or-nothing budget split, and the
+// nested-width scheduler.
 void PrintTrialScalingTable() {
   Dataset data = BenchData(/*per_cluster=*/25, /*k=*/4, /*dims=*/8);
   MpckMeansClusterer clusterer;
@@ -214,51 +277,70 @@ void PrintTrialScalingTable() {
   spec.grid = {2, 3, 4, 5};
   const int trials = std::max(8, hw);
 
-  struct Row {
-    const char* label;
-    int threads;
-    int trial_threads;
-  };
-  std::vector<Row> rows = {{"serial", 1, 1}};
-  if (hw >= 2) {
-    rows.push_back({"CVCP-level", hw, 1});
-    rows.push_back({"trial-level", hw, 0});
-  }
-
   std::printf(
       "=== RunExperiment serial vs trial-parallel "
       "(MPCKMeans, %d trials, %d-fold x %zu-value grid, n=%zu, "
       "%d hardware threads) ===\n",
       trials, spec.n_folds, spec.grid.size(), data.size(), hw);
-  std::printf("%-14s %8s %12s %10s %s\n", "mode", "threads", "wall_ms",
-              "speedup", "matches serial");
+  std::printf("%-14s %8s %12s %10s %10s %s\n", "mode", "threads", "wall_ms",
+              "speedup", "efficiency", "matches serial");
 
-  double serial_ms = 0.0;
-  uint64_t serial_mean_bits = 0;
-  int serial_ok = 0;
-  for (const Row& row : rows) {
-    spec.exec.threads = row.threads;
-    spec.trial_threads = row.trial_threads;
-    const auto start = std::chrono::steady_clock::now();
-    const cvcp::bench::CellAggregate agg =
-        cvcp::bench::RunExperiment(data, clusterer, spec, trials, /*seed=*/31);
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
-    const uint64_t mean_bits = std::bit_cast<uint64_t>(agg.cvcp_mean);
-    if (row.threads == 1) {
-      serial_ms = ms;
-      serial_mean_bits = mean_bits;
-      serial_ok = agg.trials_ok;
-      std::printf("%-14s %8d %12.1f %9.2fx %s\n", row.label, row.threads, ms,
-                  1.0, "(baseline)");
-    } else {
-      const bool matches =
-          mean_bits == serial_mean_bits && agg.trials_ok == serial_ok;
-      std::printf("%-14s %8d %12.1f %9.2fx %s\n", row.label, row.threads, ms,
-                  serial_ms / ms, matches ? "yes" : "NO — DETERMINISM BUG");
-    }
+  ExperimentScalingBaseline baseline;
+  RunExperimentScalingRow(data, clusterer, spec, trials, "serial", 1, 1,
+                          NestingPolicy::kSplit, &baseline);
+  if (hw >= 2) {
+    RunExperimentScalingRow(data, clusterer, spec, trials, "CVCP-level", hw,
+                            1, NestingPolicy::kSplit, &baseline);
+    RunExperimentScalingRow(data, clusterer, spec, trials, "trial-level", hw,
+                            0, NestingPolicy::kSplit, &baseline);
+    RunExperimentScalingRow(data, clusterer, spec, trials, "nested", hw, 0,
+                            NestingPolicy::kNested, &baseline);
   }
+  std::printf("\n");
+}
+
+// The nested scheduler's target scenario: a *narrow* outer loop (few
+// trials) with a wide inner loop (big grid × folds). The all-or-nothing
+// split can only spend the budget at one level — serial trials with
+// parallel cells — so each trial's fold-build/final-clustering sections
+// and cell tails leave the budget idle. The nested-width mode runs trial
+// lanes and their CVCP cells concurrently (lanes × inner width ≈ budget)
+// and help-while-waiting keeps every thread busy until the last cell, so
+// its throughput should be >= the split row's. Uses an explicit 4-thread
+// budget (not hw) so the comparison also exercises queueing on small
+// machines; the determinism column shows results never depend on any of
+// this.
+void PrintNestedVsSplitTable() {
+  Dataset data = BenchData(/*per_cluster=*/30, /*k=*/4, /*dims=*/8);
+  MpckMeansClusterer clusterer;
+
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const int budget = std::max(4, hw);
+  cvcp::bench::TrialSpec spec;
+  spec.scenario = cvcp::bench::Scenario::kLabels;
+  spec.level = 0.20;
+  spec.n_folds = 5;
+  spec.grid = {2, 3, 4, 5, 6, 7, 8, 9};
+  const int trials = 2;
+
+  std::printf(
+      "=== Nested-width vs split-budget scheduler, few-trials x large-grid "
+      "(MPCKMeans, %d trials, %d-fold x %zu-value grid = %zu cells/trial, "
+      "n=%zu, budget %d, %d hardware threads) ===\n",
+      trials, spec.n_folds, spec.grid.size(),
+      spec.grid.size() * static_cast<size_t>(spec.n_folds), data.size(),
+      budget, hw);
+  std::printf("%-14s %8s %12s %10s %10s %s\n", "mode", "threads", "wall_ms",
+              "speedup", "efficiency", "matches serial");
+
+  ExperimentScalingBaseline baseline;
+  RunExperimentScalingRow(data, clusterer, spec, trials, "serial", 1, 1,
+                          NestingPolicy::kSplit, &baseline);
+  RunExperimentScalingRow(data, clusterer, spec, trials, "split-budget",
+                          budget, 0, NestingPolicy::kSplit, &baseline);
+  RunExperimentScalingRow(data, clusterer, spec, trials, "nested-width",
+                          budget, 0, NestingPolicy::kNested, &baseline);
   std::printf("\n");
 }
 
@@ -269,6 +351,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   PrintCvcpScalingTable();
   PrintTrialScalingTable();
+  PrintNestedVsSplitTable();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -223,7 +223,7 @@ CellAggregate RunExperiment(const Dataset& data,
     trial_seeds.push_back(master.Fork(static_cast<uint64_t>(t)).seed());
   }
   const NestedBudget budget =
-      SplitBudget(spec.exec, n_trials, spec.trial_threads);
+      PlanBudget(spec.exec, n_trials, spec.trial_threads, spec.nesting);
   TrialSpec trial_spec = spec;
   trial_spec.exec = budget.inner;
   std::vector<TrialResult> results(n_trials);
@@ -252,16 +252,16 @@ AloiAggregate RunAloiExperiment(const std::vector<Dataset>& collection,
   // Collection members are independent cells; same discipline as the trial
   // fan-out: seeds pre-forked by dataset index, per-dataset result slots,
   // reduction in dataset order. The trial loop inside each cell shares the
-  // same budget (nested ParallelFor runs inline on pool workers, so the
-  // pool is never oversubscribed).
+  // same budget (nested ParallelFor lanes queue on the one shared pool and
+  // waiting lanes help execute them, so the pool is never oversubscribed).
   Rng master(seed);
   std::vector<uint64_t> dataset_seeds;
   dataset_seeds.reserve(collection.size());
   for (size_t d = 0; d < collection.size(); ++d) {
     dataset_seeds.push_back(master.Fork(d).seed());
   }
-  const NestedBudget budget =
-      SplitBudget(spec.exec, collection.size(), spec.trial_threads);
+  const NestedBudget budget = PlanBudget(spec.exec, collection.size(),
+                                         spec.trial_threads, spec.nesting);
   TrialSpec cell_spec = spec;
   cell_spec.exec = budget.inner;
   out.per_dataset.resize(collection.size());

@@ -50,11 +50,18 @@ struct TrialSpec {
   /// trials > CVCP grid×fold cells / full-supervision sweep); any thread
   /// count yields identical results.
   ExecutionContext exec;
-  /// Nesting mode for the outer experiment loops (trials in RunExperiment,
-  /// datasets in RunAloiExperiment): 0 = automatic SplitBudget policy,
+  /// Outer-lane width for the experiment loops (trials in RunExperiment,
+  /// datasets in RunAloiExperiment): 0 = automatic (policy decides),
   /// 1 = serial outer loops (the whole budget goes to the CVCP cells, the
-  /// pre-PR3 behavior), N > 1 = exactly N outer lanes.
+  /// pre-PR3 behavior), N > 1 = N outer lanes, capped at the budget and —
+  /// under kNested — at the loop's own size (phantom lanes would dilute
+  /// the per-lane inner share).
   int trial_threads = 0;
+  /// How the budget is shared across nesting levels (PlanBudget):
+  /// kNested (default) gives outer lanes × inner width ≈ budget with
+  /// help-while-waiting balancing; kSplit spends it all at one level.
+  /// Results are identical for either policy.
+  NestingPolicy nesting = NestingPolicy::kNested;
 };
 
 /// Everything measured in one trial.

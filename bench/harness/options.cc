@@ -16,6 +16,14 @@ long EnvLong(const char* name, long fallback) {
   return (end != nullptr && *end == '\0') ? parsed : fallback;
 }
 
+/// "nested" / "split" → policy; anything else keeps `fallback`.
+NestingPolicy ParseScheduler(const char* v, NestingPolicy fallback) {
+  if (v == nullptr) return fallback;
+  if (std::strcmp(v, "nested") == 0) return NestingPolicy::kNested;
+  if (std::strcmp(v, "split") == 0) return NestingPolicy::kSplit;
+  return fallback;
+}
+
 }  // namespace
 
 BenchOptions ParseBenchOptions(int argc, char** argv) {
@@ -29,6 +37,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   o.threads = static_cast<int>(EnvLong("CVCP_THREADS", o.threads));
   o.trial_threads =
       static_cast<int>(EnvLong("CVCP_TRIAL_THREADS", o.trial_threads));
+  o.nesting = ParseScheduler(std::getenv("CVCP_SCHEDULER"), o.nesting);
   for (int i = 1; i < argc; ++i) {
     auto next_long = [&](long fallback) {
       return i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : fallback;
@@ -50,6 +59,8 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       o.threads = static_cast<int>(next_long(o.threads));
     } else if (std::strcmp(argv[i], "--trial-threads") == 0) {
       o.trial_threads = static_cast<int>(next_long(o.trial_threads));
+    } else if (std::strcmp(argv[i], "--scheduler") == 0) {
+      if (i + 1 < argc) o.nesting = ParseScheduler(argv[++i], o.nesting);
     }
   }
   if (o.trials < 2) o.trials = 2;  // paired t-test needs >= 2
@@ -80,11 +91,14 @@ void PrintBanner(const BenchOptions& options, const std::string& title,
     std::snprintf(lanes, sizeof(lanes), "%d trial lanes",
                   options.trial_threads);
   }
+  const char* scheduler =
+      options.nesting == NestingPolicy::kNested ? "nested" : "split";
   std::printf(
-      "scale: %d trials, %zu ALOI sets, %d-fold CV, seed %llu, %s, %s "
-      "(--paper for full scale)\n\n",
+      "scale: %d trials, %zu ALOI sets, %d-fold CV, seed %llu, %s, %s, "
+      "%s scheduler (--paper for full scale)\n\n",
       options.trials, options.aloi_datasets, options.n_folds,
-      static_cast<unsigned long long>(options.seed), threads, lanes);
+      static_cast<unsigned long long>(options.seed), threads, lanes,
+      scheduler);
 }
 
 }  // namespace cvcp::bench

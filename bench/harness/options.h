@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/parallel.h"
+
 namespace cvcp::bench {
 
 /// Runtime scale of a bench binary.
@@ -21,16 +23,22 @@ struct BenchOptions {
   /// CVCP execution-engine threads; 0 = all hardware threads. Results are
   /// identical for any value (env CVCP_THREADS).
   int threads = 0;
-  /// Nesting mode for the outer experiment loops (trials / ALOI datasets):
-  /// 0 = automatic budget split, 1 = serial outer loops (whole budget to
-  /// the CVCP cells), N > 1 = exactly N outer lanes. Results are identical
-  /// for any value (env CVCP_TRIAL_THREADS).
+  /// Outer-lane width for the experiment loops (trials / ALOI datasets):
+  /// 0 = automatic, 1 = serial outer loops (whole budget to the CVCP
+  /// cells), N > 1 = N outer lanes (capped at the budget and, under the
+  /// nested scheduler, at the loop's size). Results are identical for any
+  /// value (env CVCP_TRIAL_THREADS).
   int trial_threads = 0;
+  /// Budget-sharing policy across nesting levels: kNested (default,
+  /// "nested") = outer lanes × inner width ≈ budget with
+  /// help-while-waiting balancing; kSplit ("split") = the whole budget at
+  /// one level. Results are identical for either (env CVCP_SCHEDULER).
+  NestingPolicy nesting = NestingPolicy::kNested;
 };
 
 /// Parses env vars, then `--paper` / `--trials N` / `--aloi N` /
-/// `--folds N` / `--seed N` / `--threads N` / `--trial-threads N` flags
-/// (flags win).
+/// `--folds N` / `--seed N` / `--threads N` / `--trial-threads N` /
+/// `--scheduler nested|split` flags (flags win).
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 /// One-line banner describing the reproduction target and the scale.

@@ -27,6 +27,7 @@ TrialSpec SpecFor(const PaperBenchContext& ctx, BenchAlgo algo,
   spec.with_silhouette = algo != BenchAlgo::kFosc;
   spec.exec.threads = ctx.options.threads;
   spec.trial_threads = ctx.options.trial_threads;
+  spec.nesting = ctx.options.nesting;
   return spec;
 }
 

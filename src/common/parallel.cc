@@ -3,9 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <future>
+#include <mutex>
 #include <thread>
-#include <vector>
 
 #include "common/thread_pool.h"
 
@@ -37,37 +36,87 @@ NestedBudget SplitBudget(const ExecutionContext& exec, size_t outer_size,
   return split;
 }
 
+NestedBudget PlanBudget(const ExecutionContext& exec, size_t outer_size,
+                        int outer_threads, NestingPolicy policy) {
+  if (policy == NestingPolicy::kSplit) {
+    return SplitBudget(exec, outer_size, outer_threads);
+  }
+  const int total = exec.ResolvedThreads();
+  NestedBudget plan;
+  // Lanes: as many as the outer loop can use (even a forced width never
+  // exceeds outer_size — phantom lanes would dilute the inner share and
+  // underfill the budget), never more than the budget, at least one.
+  const int absorbable = static_cast<int>(std::min<size_t>(
+      outer_size > 0 ? outer_size : 1, static_cast<size_t>(total)));
+  const int wanted =
+      outer_threads > 0 ? std::min(outer_threads, absorbable) : absorbable;
+  plan.outer.threads = std::max(1, std::min(wanted, total));
+  // Each lane's inner share; ceil so the budget is never underfilled
+  // (help-while-waiting soaks up the <= lanes - 1 rounding excess).
+  plan.inner.threads =
+      (total + plan.outer.threads - 1) / plan.outer.threads;
+  return plan;
+}
+
 void ParallelFor(const ExecutionContext& exec, size_t n,
                  const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   const int threads = exec.ResolvedThreads();
-  if (threads <= 1 || n == 1 || ThreadPool::OnWorkerThread()) {
+  if (threads <= 1 || n == 1) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
 
   ThreadPool& pool = ThreadPool::Shared();
-  const size_t num_tasks = std::min(static_cast<size_t>(threads), n);
-  std::atomic<size_t> next{0};
-  std::vector<std::future<void>> futures;
-  futures.reserve(num_tasks);
-  for (size_t t = 0; t < num_tasks; ++t) {
-    futures.push_back(pool.Submit([&next, &fn, n] {
-      for (size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
-      }
-    }));
-  }
-  // Wait for *every* task before unwinding — they reference this frame.
-  std::exception_ptr first_error;
-  for (std::future<void>& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+  // The calling thread is lane 0; the remaining lanes go to the pool as
+  // fire-and-forget tasks. Every lane runs the same dynamic claim loop
+  // over one shared cursor, so indices are claimed in ascending order no
+  // matter which lane runs them.
+  const size_t lanes = std::min(static_cast<size_t>(threads), n);
+  struct LoopState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> pending{0};  ///< pool lanes not yet finished
+    std::mutex error_mu;
+    std::exception_ptr error;  ///< first lane exception (scheduling-dep.)
+  };
+  LoopState state;  // lanes hold references; all finish before we return
+  state.pending.store(lanes - 1, std::memory_order_relaxed);
+
+  auto claim_loop = [&state, &fn, n] {
+    for (size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
+         i < n; i = state.next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
     }
+  };
+  for (size_t t = 1; t < lanes; ++t) {
+    pool.Post([&state, &claim_loop, &pool] {
+      try {
+        claim_loop();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.error_mu);
+        if (!state.error) state.error = std::current_exception();
+      }
+      // Last touch of `state`: the release pairs with the caller's
+      // acquire load so lane writes (slots, error) happen-before return.
+      state.pending.fetch_sub(1, std::memory_order_release);
+      pool.NotifyCompletion();
+    });
   }
-  if (first_error) std::rethrow_exception(first_error);
+
+  std::exception_ptr caller_error;
+  try {
+    claim_loop();
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  // Out of indices: help while waiting. Queued tasks — other loops' lanes,
+  // typically nested fan-outs spawned by this loop's own iterations — run
+  // on this thread until our lanes have all drained the cursor.
+  pool.HelpWhileWaiting([&state] {
+    return state.pending.load(std::memory_order_acquire) == 0;
+  });
+  if (!state.error && caller_error) state.error = caller_error;
+  if (state.error) std::rethrow_exception(state.error);
 }
 
 }  // namespace cvcp

@@ -4,10 +4,21 @@
 /// \file
 /// Data-parallel loops on top of the shared ThreadPool, plus the
 /// `ExecutionContext` that configs use to say how many threads a
-/// computation may use. The engine's contract everywhere: for loop bodies
-/// that write only to their own index's result slot, the output is
-/// bit-identical for every thread count — parallelism changes wall time,
-/// never results.
+/// computation may use and the nested-budget planner that divides one
+/// process-wide budget across nesting levels.
+///
+/// Nesting contract: ParallelFor may be called from anywhere, including
+/// from inside another ParallelFor body running on a pool worker. The
+/// caller always participates as a lane of its own loop and, once out of
+/// work, *helps while waiting* — it pops queued tasks (its own loop's or
+/// any other's) and executes them instead of blocking — so nested
+/// fan-outs compose without deadlock and without idle threads, and the
+/// process-wide OS-thread count never exceeds the pool size + 1.
+///
+/// Determinism contract (the engine's contract everywhere): for loop
+/// bodies that write only to their own index's result slot, the output is
+/// bit-identical for every thread count, every nesting policy, and every
+/// execution order — parallelism changes wall time, never results.
 
 #include <atomic>
 #include <cstddef>
@@ -43,11 +54,25 @@ struct NestedBudget {
   ExecutionContext inner;
 };
 
+/// How PlanBudget divides one thread budget across two nesting levels.
+enum class NestingPolicy {
+  /// All-or-nothing: exactly one level spends the whole budget, the other
+  /// runs serial (the pre-help-while-waiting policy; see SplitBudget).
+  /// Narrow outer loops with wide inner loops leave the budget idle at
+  /// the per-iteration tails and serial sections.
+  kSplit,
+  /// Multiplicative: the outer loop gets min(outer_size, budget) lanes
+  /// and each lane's nested work gets ceil(budget / lanes) threads, so
+  /// outer lanes × inner width ≈ budget. Help-while-waiting absorbs the
+  /// imbalance: a lane that finishes early starts executing other lanes'
+  /// queued inner cells, so the whole budget stays busy until the last
+  /// cell of the last lane.
+  kNested,
+};
+
 /// Splits `exec`'s budget between an outer loop of `outer_size` iterations
-/// and the work nested inside each iteration. Because nested ParallelFor
-/// calls on a pool worker run inline, the pool is never oversubscribed:
-/// the meaningful choice is *which* level spends the budget, not how to
-/// multiply widths.
+/// and the work nested inside each iteration, all-or-nothing
+/// (NestingPolicy::kSplit).
 ///
 /// `outer_threads` == 0 picks automatically: the whole budget goes to the
 /// outermost level that can absorb it (`outer_size >=` resolved threads),
@@ -65,25 +90,43 @@ struct NestedBudget {
 NestedBudget SplitBudget(const ExecutionContext& exec, size_t outer_size,
                          int outer_threads = 0);
 
+/// Divides `exec`'s budget between an outer loop of `outer_size`
+/// iterations and the work nested inside each iteration, according to
+/// `policy`. `outer_threads` keeps its SplitBudget meaning at every
+/// policy: 0 = automatic, 1 = serial outer loop (whole budget inner),
+/// N > 1 = force N outer lanes (capped at the budget; under kNested each
+/// lane still gets its ceil(budget / lanes) inner share instead of being
+/// forced serial). Under kNested the planned widths multiply to at most
+/// budget + lanes − 1 (ceil rounding); the pool's fixed thread count is
+/// the hard physical cap. Results are identical for every policy and
+/// width — the planner only moves wall time around.
+NestedBudget PlanBudget(const ExecutionContext& exec, size_t outer_size,
+                        int outer_threads, NestingPolicy policy);
+
 /// Runs `fn(i)` for every i in [0, n). With a resolved thread count of 1
-/// (or when already on a pool worker — nested parallel sections run
-/// inline) this is a plain ascending loop; otherwise indices are claimed
-/// dynamically, in ascending order, by up to `exec.ResolvedThreads()`
-/// pool tasks, so bodies with uneven cost balance automatically. Blocks
-/// until all iterations finish. Exceptions: the serial path stops at the
-/// first throwing iteration; the pool path runs every iteration and
-/// rethrows one of the thrown exceptions (which one is
+/// this is a plain ascending loop; otherwise up to
+/// `exec.ResolvedThreads()` lanes — the calling thread plus pool tasks —
+/// claim indices dynamically in ascending order, so bodies with uneven
+/// cost balance automatically. The caller is always one of the lanes, and
+/// once indices run out it helps while waiting (executes queued pool
+/// tasks — typically nested fan-outs' cells — until its own lanes
+/// finish), so calls nest from any thread without deadlock or idle
+/// threads. Blocks until all iterations finish. Exceptions: the serial
+/// path stops at the first throwing iteration; the pool path runs every
+/// iteration and rethrows one of the thrown exceptions (which one is
 /// scheduling-dependent) — fallible bodies should report through
 /// per-index result slots (as ScoreGridOnFolds does) rather than throw.
 void ParallelFor(const ExecutionContext& exec, size_t n,
                  const std::function<void(size_t)>& fn);
 
 /// Tracks the lowest failing index of a ParallelFor fan-out whose
-/// reduction is first-error-wins. Because ParallelFor claims indices in
-/// ascending order, every index below a recorded failure is already
-/// claimed and will finish, so iterations above it may be skipped without
-/// changing which error the in-order reduction reports — the serial
-/// stop-at-first-error semantics, minus the wasted work.
+/// reduction is first-error-wins. Correct for *any* execution order (the
+/// cost-sorted scheduler runs cells out of ascending order): only indices
+/// *above* the lowest recorded failure are ever skipped, so every index
+/// below it still runs and may record a lower failure; failures are
+/// deterministic per index, so the minimum settles on exactly the index
+/// the serial stop-at-first-error loop would have reported — the serial
+/// error semantics, minus the wasted work above the failure.
 class FirstErrorTracker {
  public:
   /// `n` = iteration count; "no failure yet" is represented as n.

@@ -8,6 +8,22 @@ namespace cvcp {
 
 namespace {
 thread_local bool tls_on_worker_thread = false;
+
+/// Runs an adopted task on a waiting thread. An exception escaping here
+/// would unwind the waiter's ParallelFor frame while its other lanes
+/// still reference it (use-after-free), so the no-throw contract of
+/// Post/Submit-wrapped tasks is enforced, not assumed — mirroring how an
+/// exception escaping a worker thread would std::terminate anyway.
+void RunAdoptedTask(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    CVCP_CHECK_MSG(false,
+                   "a pool task leaked an exception into a helping waiter; "
+                   "tasks must catch their own exceptions (see "
+                   "ThreadPool::Post)");
+  }
+}
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -34,6 +50,49 @@ void ThreadPool::Enqueue(std::function<void()> fn) {
     queue_.push_back(std::move(fn));
   }
   cv_.notify_one();
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.back());
+    queue_.pop_back();
+  }
+  RunAdoptedTask(task);
+  return true;
+}
+
+void ThreadPool::HelpWhileWaiting(const std::function<bool()>& done) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // The predicate is evaluated under mu_; NotifyCompletion takes mu_
+    // before notifying, so a completion between this check and the wait
+    // below cannot be missed.
+    if (done()) return;
+    if (!queue_.empty()) {
+      std::function<void()> task = std::move(queue_.back());
+      queue_.pop_back();
+      lock.unlock();
+      RunAdoptedTask(task);  // may recursively submit + HelpWhileWaiting
+      lock.lock();
+      continue;
+    }
+    cv_.wait(lock,
+             [this, &done] { return done() || !queue_.empty() || stop_; });
+    // A stopping pool with an empty queue can make no further progress;
+    // in practice loops only wait on the leaked Shared() pool, which
+    // never stops.
+    if (stop_ && queue_.empty() && !done()) return;
+  }
+}
+
+void ThreadPool::NotifyCompletion() {
+  // Empty critical section: orders this notification after any waiter's
+  // predicate check under mu_, closing the check-then-sleep race.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_all();
 }
 
 void ThreadPool::WorkerLoop() {

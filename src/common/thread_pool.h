@@ -2,15 +2,28 @@
 #define CVCP_COMMON_THREAD_POOL_H_
 
 /// \file
-/// Fixed-size worker thread pool with a task-futures API. This is the
-/// process's parallel execution substrate: higher layers never spawn raw
-/// threads, they submit tasks here (usually via ParallelFor, parallel.h).
+/// Fixed-size worker thread pool with help-while-waiting scheduling. This
+/// is the process's parallel execution substrate: higher layers never
+/// spawn raw threads, they submit tasks here (usually via ParallelFor,
+/// parallel.h).
+///
+/// Nesting contract: the pool is *help-while-waiting* — a thread that has
+/// to wait for submitted tasks (HelpWhileWaiting) pops queued tasks and
+/// executes them on its own stack instead of blocking. Because every
+/// waiting thread is also an executor, tasks may freely submit more tasks
+/// and wait for them from any thread, including pool workers; nested
+/// fan-outs can never deadlock (any unfinished task is either queued —
+/// and will be picked up by a waiter — or already running on a thread
+/// that makes progress the same way). The number of OS threads is fixed
+/// at construction, so arbitrarily deep nesting queues work instead of
+/// oversubscribing the machine.
 ///
 /// Determinism contract: the pool schedules tasks in an arbitrary order on
-/// an arbitrary worker, so tasks must not depend on execution order and
-/// must write to disjoint, pre-allocated result slots. Under that
-/// discipline a fan-out produces bit-identical results for any worker
-/// count, which is what lets CVCP guarantee parallel == serial output.
+/// an arbitrary thread (workers drain oldest-first; helping waiters drain
+/// newest-first), so tasks must not depend on execution order and must
+/// write to disjoint, pre-allocated result slots. Under that discipline a
+/// fan-out produces bit-identical results for any worker count, which is
+/// what lets CVCP guarantee parallel == serial output.
 
 #include <condition_variable>
 #include <deque>
@@ -50,10 +63,42 @@ class ThreadPool {
     return future;
   }
 
-  /// True when the calling thread is a worker of *any* ThreadPool. Used by
-  /// ParallelFor to run nested parallel sections inline instead of
-  /// re-submitting to the pool (which could deadlock: every worker waiting
-  /// on tasks that no free worker can run).
+  /// Fire-and-forget enqueue: no future, no exception channel — `fn` must
+  /// not throw (enforced: a task that leaks an exception into a helping
+  /// waiter aborts with a diagnostic rather than unwinding the waiter's
+  /// stack frame, which other lanes still reference). This is what
+  /// ParallelFor uses for its claim-loop lanes
+  /// (completion is signalled through the loop's own counter +
+  /// NotifyCompletion, which is cheaper than one promise per lane and
+  /// composes with HelpWhileWaiting).
+  void Post(std::function<void()> fn) { Enqueue(std::move(fn)); }
+
+  /// Pops one queued task (newest first) and runs it on the calling
+  /// thread; returns false when the queue was empty. Waiters drain
+  /// newest-first because the newest tasks belong to the deepest,
+  /// finest-grained fan-outs — short tasks that keep the adopted-work
+  /// latency low — while workers drain oldest-first (coarse outer lanes).
+  bool TryRunOneTask();
+
+  /// Help-while-waiting: runs queued tasks on the calling thread until
+  /// `done()` returns true, blocking on the pool's condition variable when
+  /// the queue is empty. `done` must be a cheap, thread-safe predicate
+  /// (typically a relaxed/acquire atomic load); whoever makes it true must
+  /// call NotifyCompletion() afterwards. Note the latency caveat: once a
+  /// task is adopted it runs to completion, so the caller may return
+  /// after `done()` became true by up to one adopted task's duration.
+  void HelpWhileWaiting(const std::function<bool()>& done);
+
+  /// Wakes threads blocked in HelpWhileWaiting so they re-check their
+  /// predicate. Must be called after the change that makes a waiter's
+  /// `done()` true.
+  void NotifyCompletion();
+
+  /// True when the calling thread is a worker of *any* ThreadPool.
+  /// Diagnostic only since the help-while-waiting scheduler landed:
+  /// ParallelFor no longer needs to special-case worker threads (nested
+  /// fan-outs enqueue like any other and waiters help), so nothing
+  /// load-bearing reads this anymore.
   static bool OnWorkerThread();
 
   /// Process-wide shared pool, sized to the hardware concurrency (at least

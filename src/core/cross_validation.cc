@@ -1,9 +1,13 @@
 #include "core/cross_validation.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <map>
+#include <numeric>
 #include <utility>
 
 #include "core/fmeasure.h"
@@ -28,7 +32,51 @@ struct CvCellResult {
   double wall_ms = 0.0;
 };
 
+/// Supervision size of a fold for the cost estimate: labeled training
+/// objects in Scenario I, training constraints in Scenario II.
+size_t FoldTrainSize(const FoldSplit& fold) {
+  return fold.train_labels.empty() ? fold.train_constraints.size()
+                                   : fold.train_objects.size();
+}
+
+/// The longest-first execution permutation of the cell list: cells sorted
+/// by descending cost (prior timing when the model has one for the cell's
+/// (param, fold), size estimate otherwise). stable_sort keeps equal-cost
+/// cells in canonical (grid-order, fold-order) — the permutation is a
+/// pure function of the inputs, never of wall clock or scheduling.
+std::vector<size_t> CostSortedOrder(const std::vector<CvCell>& cells,
+                                    const std::vector<FoldSplit>& folds,
+                                    const CellCostModel& cost) {
+  std::vector<size_t> order(cells.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::map<std::pair<int, int>, double> prior;
+  for (const CvCellTiming& timing : cost.prior_timings) {
+    prior[{timing.param, timing.fold}] = timing.wall_ms;
+  }
+  std::vector<double> estimate(cells.size());
+  for (size_t c = 0; c < cells.size(); ++c) {
+    const auto it = prior.find(
+        {cells[c].param, static_cast<int>(cells[c].fold)});
+    estimate[c] = it != prior.end()
+                      ? it->second
+                      : CellCostModel::EstimateCost(
+                            cells[c].param,
+                            FoldTrainSize(folds[cells[c].fold]));
+  }
+  std::stable_sort(order.begin(), order.end(), [&estimate](size_t a,
+                                                           size_t b) {
+    return estimate[a] > estimate[b];
+  });
+  return order;
+}
+
 }  // namespace
+
+double CellCostModel::EstimateCost(int param, size_t train_size) {
+  const double magnitude = param < 0 ? -static_cast<double>(param)
+                                     : static_cast<double>(param);
+  return (static_cast<double>(train_size) + 1.0) * (magnitude + 1.0);
+}
 
 Result<std::vector<FoldSplit>> MakeSupervisionFolds(
     const Dataset& data, const Supervision& supervision,
@@ -48,7 +96,8 @@ Result<std::vector<CvScore>> ScoreGridOnFolds(
     const Dataset& data, const std::vector<FoldSplit>& folds,
     SupervisionKind kind, const SemiSupervisedClusterer& clusterer,
     const std::vector<int>& param_grid, Rng* rng,
-    const ExecutionContext& exec, std::vector<CvCellTiming>* timings) {
+    const ExecutionContext& exec, const CellCostModel& cost,
+    std::vector<CvCellTiming>* timings) {
   const size_t n_folds = folds.size();
   const size_t n_cells = param_grid.size() * n_folds;
   if (timings != nullptr) timings->clear();
@@ -105,6 +154,14 @@ Result<std::vector<CvScore>> ScoreGridOnFolds(
       run_cell(c);
       if (!results[c].status.ok()) break;
     }
+  } else if (cost.sort_by_cost) {
+    // Longest-first execution: no expensive cell starts late and stretches
+    // the fan-out's tail. Execution order is free to change — every cell
+    // still writes its own slot, FirstErrorTracker never skips below the
+    // lowest failure, and the reduction below stays in cell order — so
+    // the report is bit-identical to any other schedule.
+    const std::vector<size_t> order = CostSortedOrder(cells, folds, cost);
+    ParallelFor(exec, n_cells, [&](size_t k) { run_cell(order[k]); });
   } else {
     ParallelFor(exec, n_cells, run_cell);
   }

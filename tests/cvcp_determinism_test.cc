@@ -114,6 +114,84 @@ TEST(CvcpDeterminismTest, ScenarioTwoConstraintsFoscBitIdentical) {
   CheckThreadCountInvariance(fixture, config);
 }
 
+// Cost-sorted execution (the default) permutes the order cells *run* in;
+// the reduction stays in (grid-order, fold-order), so the report must be
+// byte-identical whether the cost model is on, off, or fed real measured
+// timings — on both supervision scenarios.
+template <typename Fixture>
+void CheckCostModelInvariance(const Fixture& fixture,
+                              const CvcpConfig& base_config) {
+  CvcpConfig config = base_config;
+  config.cv.exec = ExecutionContext::Serial();
+  Rng serial_rng(707);
+  auto serial = RunCvcp(fixture.data, fixture.supervision, fixture.clusterer,
+                        config, &serial_rng);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  // Harvest real per-cell timings to drive the measured-cost schedule.
+  config.cv.exec.threads = 4;
+  config.collect_timings = true;
+  Rng timing_rng(707);
+  auto timed = RunCvcp(fixture.data, fixture.supervision, fixture.clusterer,
+                       config, &timing_rng);
+  ASSERT_TRUE(timed.ok()) << timed.status().ToString();
+  ExpectReportsIdentical(*serial, *timed, 4);
+
+  struct ModelCase {
+    const char* name;
+    bool sort_by_cost;
+    bool with_prior;
+  };
+  const ModelCase cases[] = {
+      {"estimate-sorted", true, false},
+      {"measured-sorted", true, true},
+      {"unsorted", false, false},
+  };
+  for (const ModelCase& model : cases) {
+    for (int threads : {2, 8}) {
+      config.cv.exec.threads = threads;
+      config.cv.cost.sort_by_cost = model.sort_by_cost;
+      config.cv.cost.prior_timings =
+          model.with_prior ? timed->cell_timings
+                           : std::vector<CvCellTiming>{};
+      Rng rng(707);
+      auto parallel = RunCvcp(fixture.data, fixture.supervision,
+                              fixture.clusterer, config, &rng);
+      ASSERT_TRUE(parallel.ok())
+          << model.name << ": " << parallel.status().ToString();
+      SCOPED_TRACE(model.name);
+      ExpectReportsIdentical(*serial, *parallel, threads);
+    }
+  }
+}
+
+TEST(CvcpDeterminismTest, CostSortedLabelsMpckMeansBitIdentical) {
+  LabelFixture fixture;
+  CvcpConfig config;
+  config.cv.n_folds = 5;
+  config.param_grid = {2, 3, 4, 5, 6, 7, 8};
+  CheckCostModelInvariance(fixture, config);
+}
+
+TEST(CvcpDeterminismTest, CostSortedConstraintsFoscBitIdentical) {
+  ConstraintFixture fixture;
+  CvcpConfig config;
+  config.cv.n_folds = 4;
+  config.param_grid = {3, 6, 9, 12};
+  CheckCostModelInvariance(fixture, config);
+}
+
+TEST(CostModelTest, EstimateGrowsWithParamAndTrainingSize) {
+  EXPECT_GT(CellCostModel::EstimateCost(5, 100),
+            CellCostModel::EstimateCost(2, 100));
+  EXPECT_GT(CellCostModel::EstimateCost(5, 100),
+            CellCostModel::EstimateCost(5, 10));
+  // Negative params cost by magnitude, and the estimate is never zero.
+  EXPECT_EQ(CellCostModel::EstimateCost(-5, 100),
+            CellCostModel::EstimateCost(5, 100));
+  EXPECT_GT(CellCostModel::EstimateCost(0, 0), 0.0);
+}
+
 TEST(CvcpDeterminismTest, TimingsCoverEveryCellInGridFoldOrder) {
   LabelFixture fixture;
   CvcpConfig config;

@@ -106,20 +106,28 @@ void ExpectCellsIdentical(const CellAggregate& a, const CellAggregate& b,
   EXPECT_EQ(SigMarker(a.cvcp_vs_exp), SigMarker(b.cvcp_vs_exp)) << where;
 }
 
-/// The (threads, trial_threads) grid every scenario is checked over:
-/// automatic splits, forced outer lanes, and forced-serial outer loops.
+/// The (threads, trial_threads, nesting) grid every scenario is checked
+/// over: automatic widths, forced outer lanes, and forced-serial outer
+/// loops, under both the all-or-nothing split and the nested-width
+/// help-while-waiting scheduler.
 struct EngineConfig {
   int threads;
   int trial_threads;
+  NestingPolicy nesting;
 };
 
 const EngineConfig kConfigs[] = {
-    {2, 0}, {8, 0}, {2, 2}, {8, 4}, {8, 1},
+    {2, 0, NestingPolicy::kSplit},  {8, 0, NestingPolicy::kSplit},
+    {2, 2, NestingPolicy::kSplit},  {8, 4, NestingPolicy::kSplit},
+    {8, 1, NestingPolicy::kSplit},  {2, 0, NestingPolicy::kNested},
+    {8, 0, NestingPolicy::kNested}, {8, 4, NestingPolicy::kNested},
+    {8, 1, NestingPolicy::kNested},
 };
 
 std::string Where(const EngineConfig& config) {
   return "threads " + std::to_string(config.threads) + ", trial_threads " +
-         std::to_string(config.trial_threads);
+         std::to_string(config.trial_threads) + ", " +
+         (config.nesting == NestingPolicy::kNested ? "nested" : "split");
 }
 
 template <typename Clusterer>
@@ -128,6 +136,7 @@ void CheckExperimentInvariance(const Dataset& data, TrialSpec spec,
   Clusterer clusterer;
   spec.exec = ExecutionContext::Serial();
   spec.trial_threads = 1;
+  spec.nesting = NestingPolicy::kSplit;
   const CellAggregate serial =
       RunExperiment(data, clusterer, spec, trials, /*seed=*/77);
   ASSERT_GE(serial.trials_ok, 2);
@@ -135,6 +144,7 @@ void CheckExperimentInvariance(const Dataset& data, TrialSpec spec,
   for (const EngineConfig& config : kConfigs) {
     spec.exec.threads = config.threads;
     spec.trial_threads = config.trial_threads;
+    spec.nesting = config.nesting;
     const CellAggregate parallel =
         RunExperiment(data, clusterer, spec, trials, /*seed=*/77);
     ExpectCellsIdentical(serial, parallel, Where(config));
@@ -159,6 +169,7 @@ TEST(ExperimentDeterminismTest, AloiAggregatesBitIdentical) {
   TrialSpec spec = LabelSpec();
   spec.exec = ExecutionContext::Serial();
   spec.trial_threads = 1;
+  spec.nesting = NestingPolicy::kSplit;
   const AloiAggregate serial =
       RunAloiExperiment(collection, clusterer, spec, /*trials=*/3,
                         /*seed=*/88);
@@ -172,6 +183,7 @@ TEST(ExperimentDeterminismTest, AloiAggregatesBitIdentical) {
   for (const EngineConfig& config : kConfigs) {
     spec.exec.threads = config.threads;
     spec.trial_threads = config.trial_threads;
+    spec.nesting = config.nesting;
     const AloiAggregate parallel =
         RunAloiExperiment(collection, clusterer, spec, /*trials=*/3,
                           /*seed=*/88);

@@ -208,6 +208,21 @@ TEST(BenchOptionsTest, TrialThreadsFlagParsedAndClamped) {
   EXPECT_EQ(o2.trial_threads, 0);  // 0 = automatic split
 }
 
+TEST(BenchOptionsTest, SchedulerFlagSelectsNestingPolicy) {
+  const BenchOptions defaults = ParseBenchOptions(0, nullptr);
+  EXPECT_EQ(defaults.nesting, NestingPolicy::kNested);
+  const char* split[] = {"bench", "--scheduler", "split"};
+  EXPECT_EQ(ParseBenchOptions(3, const_cast<char**>(split)).nesting,
+            NestingPolicy::kSplit);
+  const char* nested[] = {"bench", "--scheduler", "nested"};
+  EXPECT_EQ(ParseBenchOptions(3, const_cast<char**>(nested)).nesting,
+            NestingPolicy::kNested);
+  // Unknown values keep the default rather than aborting a bench run.
+  const char* typo[] = {"bench", "--scheduler", "sideways"};
+  EXPECT_EQ(ParseBenchOptions(3, const_cast<char**>(typo)).nesting,
+            NestingPolicy::kNested);
+}
+
 TEST(BenchOptionsTest, PaperFlagRestoresPaperScale) {
   const char* argv[] = {"bench", "--paper"};
   const BenchOptions o = ParseBenchOptions(2, const_cast<char**>(argv));

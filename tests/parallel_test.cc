@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -77,6 +79,93 @@ TEST(SplitBudgetTest, ReturnsResolvedCountsForZeroThreadBudget) {
   EXPECT_GE(split.inner.threads, 1);
   // Exactly one level spends the budget; the other stays serial.
   EXPECT_TRUE(split.outer.threads == 1 || split.inner.threads == 1);
+}
+
+TEST(PlanBudgetTest, SplitPolicyDelegatesToSplitBudget) {
+  ExecutionContext exec;
+  exec.threads = 8;
+  for (size_t outer_size : {size_t{3}, size_t{50}}) {
+    for (int outer_threads : {0, 1, 4}) {
+      const NestedBudget plan =
+          PlanBudget(exec, outer_size, outer_threads, NestingPolicy::kSplit);
+      const NestedBudget split = SplitBudget(exec, outer_size, outer_threads);
+      EXPECT_EQ(plan.outer.threads, split.outer.threads)
+          << outer_size << "/" << outer_threads;
+      EXPECT_EQ(plan.inner.threads, split.inner.threads)
+          << outer_size << "/" << outer_threads;
+    }
+  }
+}
+
+TEST(PlanBudgetTest, NestedSharesBudgetMultiplicativelyOnNarrowOuterLoops) {
+  ExecutionContext exec;
+  exec.threads = 8;
+  const NestedBudget plan =
+      PlanBudget(exec, /*outer_size=*/2, /*outer_threads=*/0,
+                 NestingPolicy::kNested);
+  EXPECT_EQ(plan.outer.threads, 2);
+  EXPECT_EQ(plan.inner.threads, 4);  // 2 lanes x 4 cells = the budget
+}
+
+TEST(PlanBudgetTest, NestedMatchesSplitOnWideOuterLoops) {
+  ExecutionContext exec;
+  exec.threads = 8;
+  const NestedBudget plan =
+      PlanBudget(exec, /*outer_size=*/50, /*outer_threads=*/0,
+                 NestingPolicy::kNested);
+  EXPECT_EQ(plan.outer.threads, 8);
+  EXPECT_EQ(plan.inner.threads, 1);
+}
+
+TEST(PlanBudgetTest, NestedCeilRoundsTheInnerShareUp) {
+  ExecutionContext exec;
+  exec.threads = 8;
+  const NestedBudget plan =
+      PlanBudget(exec, /*outer_size=*/3, /*outer_threads=*/0,
+                 NestingPolicy::kNested);
+  EXPECT_EQ(plan.outer.threads, 3);
+  EXPECT_EQ(plan.inner.threads, 3);  // ceil(8 / 3); never underfilled
+}
+
+TEST(PlanBudgetTest, NestedForcedLanesKeepTheirInnerShare) {
+  ExecutionContext exec;
+  exec.threads = 8;
+  const NestedBudget plan =
+      PlanBudget(exec, /*outer_size=*/50, /*outer_threads=*/2,
+                 NestingPolicy::kNested);
+  EXPECT_EQ(plan.outer.threads, 2);
+  EXPECT_EQ(plan.inner.threads, 4);  // unlike kSplit, lanes stay nested
+  const NestedBudget capped =
+      PlanBudget(exec, /*outer_size=*/50, /*outer_threads=*/16,
+                 NestingPolicy::kNested);
+  EXPECT_EQ(capped.outer.threads, 8);
+  EXPECT_EQ(capped.inner.threads, 1);
+}
+
+TEST(PlanBudgetTest, NestedForcedLanesNeverExceedTheOuterSize) {
+  // Regression: --trial-threads 4 on a 2-trial run must not plan 4
+  // phantom lanes — that would divide the inner share by 4 while
+  // ParallelFor caps the real lanes at 2, stranding half the budget.
+  ExecutionContext exec;
+  exec.threads = 8;
+  const NestedBudget plan =
+      PlanBudget(exec, /*outer_size=*/2, /*outer_threads=*/4,
+                 NestingPolicy::kNested);
+  EXPECT_EQ(plan.outer.threads, 2);
+  EXPECT_EQ(plan.inner.threads, 4);
+}
+
+TEST(PlanBudgetTest, NestedSerialBudgetStaysSerialEverywhere) {
+  const NestedBudget plan =
+      PlanBudget(ExecutionContext::Serial(), /*outer_size=*/100,
+                 /*outer_threads=*/0, NestingPolicy::kNested);
+  EXPECT_EQ(plan.outer.threads, 1);
+  EXPECT_EQ(plan.inner.threads, 1);
+  const NestedBudget forced_serial_outer =
+      PlanBudget(ExecutionContext{.threads = 6}, /*outer_size=*/100,
+                 /*outer_threads=*/1, NestingPolicy::kNested);
+  EXPECT_EQ(forced_serial_outer.outer.threads, 1);
+  EXPECT_EQ(forced_serial_outer.inner.threads, 6);
 }
 
 TEST(FirstErrorTrackerTest, TracksTheMinimumFailingIndex) {
@@ -179,18 +268,104 @@ TEST(ParallelForTest, ResultsMatchSerialForAnyThreadCount) {
   }
 }
 
-TEST(ParallelForTest, NestedParallelForRunsInlineWithoutDeadlock) {
+TEST(ParallelForTest, NestedParallelForCompletesWithoutDeadlock) {
   ExecutionContext exec;
   exec.threads = 4;
   std::vector<int> sums(8, 0);
   ParallelFor(exec, sums.size(), [&](size_t i) {
-    // Inner loop must detect it is on a pool worker and run inline;
-    // otherwise all workers could block waiting on each other.
+    // The inner loop's lanes queue on the same pool its caller runs on;
+    // help-while-waiting (waiters execute queued tasks instead of
+    // blocking) is what makes this deadlock-free even when every worker
+    // is itself inside an outer iteration.
     int sum = 0;
-    ParallelFor(exec, 10, [&](size_t j) { sum += static_cast<int>(j); });
+    std::mutex mu;
+    ParallelFor(exec, 10, [&](size_t j) {
+      std::lock_guard<std::mutex> lock(mu);
+      sum += static_cast<int>(j);
+    });
     sums[i] = sum;
   });
   for (int sum : sums) EXPECT_EQ(sum, 45);
+}
+
+// Help-while-waiting stress: three nesting levels, every level wider than
+// the budget, at budgets 1, 2, and 8 — far more queued lanes than pool
+// workers. Any blocking wait in the scheduler would deadlock here (a
+// hung test run is the failure mode); the counts prove every innermost
+// iteration ran exactly once.
+TEST(ParallelForTest, DeeplyNestedFanOutsCompleteAtEveryBudget) {
+  for (int threads : {1, 2, 8}) {
+    ExecutionContext exec;
+    exec.threads = threads;
+    constexpr size_t kOuter = 6, kMid = 5, kInner = 7;
+    std::vector<int> visits(kOuter * kMid * kInner, 0);
+    ParallelFor(exec, kOuter, [&](size_t i) {
+      ParallelFor(exec, kMid, [&](size_t j) {
+        ParallelFor(exec, kInner, [&](size_t k) {
+          ++visits[(i * kMid + j) * kInner + k];
+        });
+      });
+    });
+    for (size_t v = 0; v < visits.size(); ++v) {
+      EXPECT_EQ(visits[v], 1) << "slot " << v << ", threads " << threads;
+    }
+  }
+}
+
+// The same stress through the budget planner, the way the harness nests:
+// outer lanes get PlanBudget's outer context, their bodies the inner
+// share. Narrow outer (2) x wide inner (32) is exactly the shape the
+// nested policy exists for.
+TEST(ParallelForTest, NestedPolicyBudgetsComposeWithoutDeadlock) {
+  for (int threads : {1, 2, 8}) {
+    ExecutionContext exec;
+    exec.threads = threads;
+    const NestedBudget plan =
+        PlanBudget(exec, /*outer_size=*/2, /*outer_threads=*/0,
+                   NestingPolicy::kNested);
+    std::vector<int> visits(2 * 32, 0);
+    ParallelFor(plan.outer, 2, [&](size_t i) {
+      ParallelFor(plan.inner, 32, [&](size_t j) { ++visits[i * 32 + j]; });
+    });
+    for (size_t v = 0; v < visits.size(); ++v) {
+      EXPECT_EQ(visits[v], 1) << "slot " << v << ", threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, HelpWhileWaitingRunsPostedTasksOnTheCallingThread) {
+  // A 1-worker pool whose worker is pinned by a long task: the only way
+  // the posted tasks can finish before the pin is released is the caller
+  // executing them itself inside HelpWhileWaiting.
+  ThreadPool pool(1);
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  pool.Post([&] {
+    pinned.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Only post the counted tasks once the worker is provably inside the
+  // pin task, so no thread but the caller can run them — and the caller
+  // adopting the pin task (which only the worker may finish) is ruled
+  // out.
+  while (!pinned.load()) std::this_thread::yield();
+  constexpr int kTasks = 16;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Post([&done, &pool] {
+      done.fetch_add(1, std::memory_order_relaxed);
+      pool.NotifyCompletion();
+    });
+  }
+  pool.HelpWhileWaiting(
+      [&done] { return done.load(std::memory_order_relaxed) == kTasks; });
+  EXPECT_EQ(done.load(), kTasks);
+  release.store(true);
+}
+
+TEST(ThreadPoolTest, TryRunOneTaskReportsAnEmptyQueue) {
+  ThreadPool pool(1);
+  EXPECT_FALSE(pool.TryRunOneTask());
 }
 
 TEST(ParallelForTest, BodyExceptionPropagates) {

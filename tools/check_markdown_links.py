@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links point at files that exist.
+
+Scans every tracked *.md file in the repository for inline links
+(``[text](target)``) and reference definitions (``[label]: target``),
+skips external schemes (http/https/mailto) and pure in-page anchors, and
+verifies that each remaining target resolves to a file or directory
+relative to the linking file. ``#fragment`` suffixes are stripped before
+the existence check; fragments themselves are only validated against the
+anchors of markdown targets when the target file is part of the scan.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per broken
+link). Run from anywhere inside the repository:
+
+    python3 tools/check_markdown_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+INLINE_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def repo_root() -> Path:
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        check=True, capture_output=True, text=True,
+    )
+    return Path(out.stdout.strip())
+
+
+def markdown_files(root: Path) -> list[Path]:
+    # --others --exclude-standard: also scan new, not-yet-committed docs.
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md", "**/*.md"],
+        check=True, capture_output=True, text=True, cwd=root,
+    )
+    return [root / line for line in out.stdout.splitlines() if line]
+
+
+def github_anchor(heading: str) -> str:
+    """GitHub's slugger: lowercase, drop punctuation, spaces to dashes."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = path.read_text(encoding="utf-8")
+    return {github_anchor(m.group(1)) for m in HEADING.finditer(text)}
+
+
+def main() -> int:
+    root = repo_root()
+    files = markdown_files(root)
+    known_md = {path.resolve() for path in files}
+    errors = []
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        targets = INLINE_LINK.findall(text) + REFERENCE_DEF.findall(text)
+        for target in targets:
+            if EXTERNAL.match(target) or target.startswith("//"):
+                continue
+            base, _, fragment = target.partition("#")
+            if not base:  # in-page anchor
+                resolved = path.resolve()
+            else:
+                resolved = (path.parent / base).resolve()
+                if not resolved.exists():
+                    errors.append(
+                        f"{path.relative_to(root)}: broken link -> {target}")
+                    continue
+            if fragment and resolved in known_md:
+                if github_anchor(fragment) not in anchors_of(resolved):
+                    errors.append(
+                        f"{path.relative_to(root)}: missing anchor -> "
+                        f"{target}")
+    for error in errors:
+        print(error)
+    checked = len(files)
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} markdown "
+              "file(s)")
+        return 1
+    print(f"all relative links OK across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
