@@ -1,16 +1,29 @@
 // Micro-benchmarks (google-benchmark) for the core primitives: constraint
 // closure, fold splitting, OPTICS, k-means, MPCKMeans iterations, FOSC
-// extraction and the constraint F-measure. These track the cost model
-// behind the paper-scale benches. Before the google-benchmark suites run,
-// main() prints three scaling tables for the parallel execution engine:
-// CVCP serial-vs-parallel (with cost-model cell ordering), the
-// trial-level fan-out on a wide outer loop, and nested-width vs
-// split-budget scheduling on the narrow-outer/wide-inner scenario.
+// extraction, distance kernels and the constraint F-measure. These track
+// the cost model behind the paper-scale benches. Before the
+// google-benchmark suites run, main() prints four scaling tables for the
+// parallel execution engine: CVCP serial-vs-parallel (with cost-model
+// cell ordering), the trial-level fan-out on a wide outer loop,
+// nested-width vs split-budget scheduling on the narrow-outer/wide-inner
+// scenario, and the per-dataset compute cache on the FOSC scenario
+// (cache-on vs cache-off with hit counts and per-stage wall time).
+//
+// Unlike the paper benches, this binary takes google-benchmark flags; the
+// few engine options it supports (--threads N, --timings-file PATH,
+// --cache-table-only) are stripped from argv before
+// benchmark::Initialize. --timings-file makes the CVCP scaling table save
+// its measured cell timings and, when the file already exists, drives the
+// "file timings" cost-model row from it — the measured schedule
+// persisting across process restarts.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,15 +35,18 @@
 #include "cluster/kmeans.h"
 #include "cluster/mpckmeans.h"
 #include "cluster/optics.h"
+#include "common/distance.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "constraints/folds.h"
 #include "constraints/oracle.h"
 #include "constraints/transitive_closure.h"
 #include "core/cvcp.h"
+#include "core/dataset_cache.h"
 #include "core/fmeasure.h"
 #include "data/generators.h"
 #include "harness/experiment.h"
+#include "harness/options.h"
 
 namespace {
 
@@ -39,6 +55,17 @@ using namespace cvcp;  // NOLINT
 Dataset BenchData(size_t per_cluster, int k, size_t dims) {
   Rng rng(7);
   return MakeBlobs("bench", k, per_cluster, dims, 10.0, 1.0, &rng);
+}
+
+// Set false by any scaling-table row whose results drift from its
+// baseline; main() exits nonzero so the CI smoke steps actually fail on
+// a determinism regression instead of only printing it.
+bool g_determinism_ok = true;
+
+// NaN-safe exact equality: compares bit patterns, so NaN == NaN (same
+// payload) and +0.0 != -0.0 — the byte-identity the engine guarantees.
+bool BitsEqual(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
 }
 
 ConstraintSet BenchConstraints(const Dataset& data, double frac) {
@@ -127,6 +154,33 @@ void BM_MpckMeans(benchmark::State& state) {
 }
 BENCHMARK(BM_MpckMeans)->Arg(25)->Arg(50)->Arg(100);
 
+// Scalar vs 4-accumulator-unrolled distance kernel (Arg: 0 = scalar,
+// 1 = unrolled). The unrolled kernel reassociates the sum, so it is
+// opt-in (--distance-kernel unrolled in the paper benches) and never the
+// default; this benchmark quantifies what the bitwise contract costs.
+void BM_SquaredEuclideanKernel(benchmark::State& state) {
+  const bool previous = UnrolledDistanceKernelsEnabled();
+  SetUnrolledDistanceKernels(state.range(0) != 0);
+  Rng rng(41);
+  std::vector<double> a(static_cast<size_t>(state.range(1)));
+  std::vector<double> b(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.NextDouble();
+    b[i] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquaredEuclideanDistance(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.size()));
+  SetUnrolledDistanceKernels(previous);
+}
+BENCHMARK(BM_SquaredEuclideanKernel)
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({0, 128})
+    ->Args({1, 128});
+
 void BM_ConstraintFMeasure(benchmark::State& state) {
   Dataset data = BenchData(static_cast<size_t>(state.range(0)), 5, 8);
   ConstraintSet constraints = BenchConstraints(data, 0.3);
@@ -143,11 +197,14 @@ BENCHMARK(BM_ConstraintFMeasure)->Arg(25)->Arg(50)->Arg(100);
 // Serial-vs-parallel CVCP wall time on the engine's target workload: a
 // 10-fold × 8-value MPCKMeans grid (80 clustering cells per run). Also
 // cross-checks that every configuration selects the same parameter with
-// the same score — the engine's determinism guarantee. The final row
-// feeds the first parallel run's measured cell_timings back into the cost
-// model (CellCostModel::prior_timings), so cells are scheduled
-// measured-longest-first instead of estimate-longest-first.
-void PrintCvcpScalingTable() {
+// the same score — the engine's determinism guarantee. The final rows
+// feed measured cell_timings back into the cost model
+// (CellCostModel::prior_timings): the "prior timings" row uses this
+// process's first parallel run, the "file timings" row (only with
+// --timings-file and an existing file) uses a *previous invocation's*
+// timings, and with --timings-file the measured timings are saved so the
+// next invocation starts measured-longest-first.
+void PrintCvcpScalingTable(const std::string& timings_file) {
   Dataset data = BenchData(/*per_cluster=*/40, /*k=*/5, /*dims=*/16);
   Rng rng(23);
   auto labeled = SampleLabeledObjects(data, 0.3, &rng);
@@ -187,6 +244,9 @@ void PrintCvcpScalingTable() {
                           std::chrono::steady_clock::now() - start)
                           .count();
     CVCP_CHECK(report.ok());
+    // The first row's measured timings feed the cost-model rows and the
+    // timings file (the serial baseline on single-core machines).
+    if (measured.empty()) measured = report->cell_timings;
     if (threads == 1) {
       serial_ms = ms;
       serial_best = report->best_param;
@@ -194,9 +254,9 @@ void PrintCvcpScalingTable() {
       std::printf("%-16s %8d %12.1f %9.2fx %9.2f%% %s\n", label, threads, ms,
                   1.0, 100.0, "(baseline)");
     } else {
-      if (measured.empty()) measured = report->cell_timings;
       const bool matches = report->best_param == serial_best &&
-                           report->best_score == serial_score;
+                           BitsEqual(report->best_score, serial_score);
+      if (!matches) g_determinism_ok = false;
       const double speedup = serial_ms / ms;
       std::printf("%-16s %8d %12.1f %9.2fx %9.2f%% %s\n", label, threads, ms,
                   speedup, 100.0 * speedup / threads,
@@ -211,6 +271,115 @@ void PrintCvcpScalingTable() {
     config.cv.cost.prior_timings = measured;
     run_row("prior timings", hw);
     config.cv.cost.prior_timings.clear();
+  }
+  if (!timings_file.empty()) {
+    // Cost model persisted across invocations: drive a row from the
+    // previous process's measured timings, then save this run's.
+    auto loaded = cvcp::bench::LoadCellTimings(timings_file);
+    if (loaded.ok() && hw >= 2) {
+      config.cv.cost.prior_timings = std::move(loaded).value();
+      run_row("file timings", hw);
+      config.cv.cost.prior_timings.clear();
+    }
+    const Status saved = cvcp::bench::SaveCellTimings(timings_file, measured);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    } else {
+      std::printf("saved %zu cell timings to %s\n", measured.size(),
+                  timings_file.c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+// The per-dataset compute cache on its target workload: FOSC-OPTICSDend,
+// whose OPTICS + dendrogram stage is supervision-independent. Uncached,
+// every (param, fold) cell plus the final run pays a full OPTICS pass
+// with on-the-fly O(d) distances — G×F+1 OPTICS runs per CVCP invocation.
+// With the cache, the condensed distance matrix is built once, OPTICS
+// runs once per grid value (G builds, the other G×(F-1)+1 cells are memo
+// hits), and every distance evaluation inside OPTICS is an O(1) lookup.
+// The table prints per-stage wall time (distance build, OPTICS model
+// builds) and hit counts next to the speedup columns, and cross-checks
+// that cached reports match the uncached baseline bit for bit.
+void PrintFoscCacheTable(int threads) {
+  Dataset data = BenchData(/*per_cluster=*/40, /*k=*/5, /*dims=*/16);
+  Rng rng(37);
+  auto pool = BuildConstraintPool(data, 0.25, &rng);
+  CVCP_CHECK(pool.ok());
+  auto sampled = SampleConstraints(pool.value(), 0.5, &rng);
+  CVCP_CHECK(sampled.ok());
+  Supervision supervision =
+      Supervision::FromConstraints(std::move(sampled).value());
+
+  FoscOpticsDendClusterer clusterer;
+  CvcpConfig config;
+  config.cv.n_folds = 10;
+  config.param_grid = {3, 4, 5, 6, 7, 8, 9, 10};
+  const size_t cells =
+      config.param_grid.size() * static_cast<size_t>(config.cv.n_folds) + 1;
+
+  std::printf(
+      "=== Per-dataset compute cache "
+      "(FOSC-OPTICSDend, %d-fold x %zu-value MinPts grid = %zu OPTICS-"
+      "dependent runs, n=%zu, %d threads) ===\n",
+      config.cv.n_folds, config.param_grid.size(), cells, data.size(),
+      threads);
+  std::printf("%-10s %8s %12s %9s %7s %10s %10s %8s %9s %s\n", "cache",
+              "threads", "wall_ms", "speedup", "optics", "model_hit",
+              "dist_b/h", "dist_ms", "optics_ms", "matches uncached");
+
+  double baseline_ms = 0.0;
+  CvcpReport baseline;
+  auto run_row = [&](bool cache_on, int row_threads) {
+    config.cv.exec.threads = row_threads;
+    std::optional<DatasetCache> cache;
+    if (cache_on) cache.emplace(data.points());
+    Rng run_rng(43);
+    const auto start = std::chrono::steady_clock::now();
+    auto report = RunCvcp(data, supervision, clusterer, config, &run_rng,
+                          cache.has_value() ? &*cache : nullptr);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    CVCP_CHECK(report.ok());
+    const bool is_baseline = !cache_on && row_threads == 1;
+    if (is_baseline) {
+      baseline_ms = ms;
+      baseline = *report;
+    }
+    bool matches = report->best_param == baseline.best_param &&
+                   BitsEqual(report->best_score, baseline.best_score);
+    for (size_t g = 0; matches && g < baseline.scores.size(); ++g) {
+      matches = BitsEqual(report->scores[g].score, baseline.scores[g].score);
+    }
+    matches = matches && report->final_clustering.assignment() ==
+                             baseline.final_clustering.assignment();
+    if (!is_baseline && !matches) g_determinism_ok = false;
+    // Uncached rows run OPTICS once per cell by construction; cached rows
+    // report the cache's actual build/hit counters.
+    DatasetCache::Stats stats;
+    if (cache.has_value()) stats = cache->stats();
+    const uint64_t optics_runs =
+        cache_on ? stats.model_builds : static_cast<uint64_t>(cells);
+    char dist_col[32];
+    std::snprintf(dist_col, sizeof(dist_col), "%llu/%llu",
+                  static_cast<unsigned long long>(stats.distance_builds),
+                  static_cast<unsigned long long>(stats.distance_hits));
+    std::printf("%-10s %8d %12.1f %8.2fx %7llu %10llu %10s %8.1f %9.1f %s\n",
+                cache_on ? "on" : "off", row_threads, ms, baseline_ms / ms,
+                static_cast<unsigned long long>(optics_runs),
+                static_cast<unsigned long long>(stats.model_hits), dist_col,
+                stats.distance_build_ms, stats.model_build_ms,
+                is_baseline      ? "(baseline)"
+                : matches        ? "yes"
+                                 : "NO — DETERMINISM BUG");
+  };
+  run_row(/*cache_on=*/false, /*row_threads=*/1);
+  run_row(/*cache_on=*/true, /*row_threads=*/1);
+  if (threads > 1) {
+    run_row(/*cache_on=*/false, threads);
+    run_row(/*cache_on=*/true, threads);
   }
   std::printf("\n");
 }
@@ -252,6 +421,7 @@ void RunExperimentScalingRow(const Dataset& data,
   } else {
     const bool matches = mean_bits == baseline->serial_mean_bits &&
                          agg.trials_ok == baseline->serial_ok;
+    if (!matches) g_determinism_ok = false;
     const double speedup = baseline->serial_ms / ms;
     std::printf("%-14s %8d %12.1f %9.2fx %9.2f%% %s\n", label, threads, ms,
                 speedup, 100.0 * speedup / threads,
@@ -344,15 +514,54 @@ void PrintNestedVsSplitTable() {
   std::printf("\n");
 }
 
+// This binary's own flags, stripped from argv before google-benchmark
+// sees the rest.
+struct MicroOptions {
+  int threads = 0;           // 0 = all hardware threads (cache table width)
+  std::string timings_file;  // persist CVCP cell timings across invocations
+  bool cache_table_only = false;  // print the cache table and exit (CI smoke)
+};
+
+MicroOptions StripMicroOptions(int* argc, char** argv) {
+  MicroOptions o;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < *argc) {
+      o.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--timings-file") == 0 && i + 1 < *argc) {
+      o.timings_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--cache-table-only") == 0) {
+      o.cache_table_only = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (o.threads < 0) o.threads = 0;
+  return o;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const MicroOptions options = StripMicroOptions(&argc, argv);
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const int table_threads = options.threads > 0 ? options.threads : hw;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  PrintCvcpScalingTable();
+  if (options.cache_table_only) {
+    PrintFoscCacheTable(table_threads);
+    benchmark::Shutdown();
+    return g_determinism_ok ? 0 : 1;
+  }
+  PrintCvcpScalingTable(options.timings_file);
   PrintTrialScalingTable();
   PrintNestedVsSplitTable();
+  PrintFoscCacheTable(table_threads);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  // Nonzero on any "NO — DETERMINISM BUG" row so the CI smoke steps fail
+  // on a regression instead of only printing it.
+  return g_determinism_ok ? 0 : 1;
 }

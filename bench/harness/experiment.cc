@@ -3,11 +3,14 @@
 #include <cmath>
 #include <limits>
 
+#include <optional>
+
 #include "cluster/silhouette.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "constraints/oracle.h"
+#include "core/dataset_cache.h"
 #include "core/selectors.h"
 #include "eval/external_measures.h"
 
@@ -85,7 +88,8 @@ void CellAggregate::Finalize(bool with_silhouette) {
 
 TrialResult RunTrial(const Dataset& data,
                      const SemiSupervisedClusterer& clusterer,
-                     const TrialSpec& spec, uint64_t trial_seed) {
+                     const TrialSpec& spec, uint64_t trial_seed,
+                     DatasetCache* cache) {
   TrialResult out;
   Rng rng(trial_seed);
 
@@ -117,9 +121,11 @@ TrialResult RunTrial(const Dataset& data,
   CvcpConfig config;
   config.cv.n_folds = spec.n_folds;
   config.cv.exec = spec.exec;
+  config.cv.cost.prior_timings = spec.prior_timings;
   config.param_grid = spec.grid;
   Rng cvcp_rng = rng.Fork(2);
-  auto report = RunCvcp(data, supervision, clusterer, config, &cvcp_rng);
+  auto report = RunCvcp(data, supervision, clusterer, config, &cvcp_rng,
+                        cache);
   if (!report.ok()) {
     out.error = report.status().ToString();
     return out;
@@ -152,7 +158,8 @@ TrialResult RunTrial(const Dataset& data,
     if (first_error.ShouldSkip(gi)) return;
     Rng run_rng = run_rngs[gi];
     auto clustering =
-        clusterer.Cluster(data, supervision, spec.grid[gi], &run_rng);
+        clusterer.Cluster(data, supervision, spec.grid[gi], &run_rng,
+                          ClusterContext{cache, spec.exec});
     if (!clustering.ok()) {
       sweep_errors[gi] = clustering.status();
       first_error.Record(gi);
@@ -161,8 +168,14 @@ TrialResult RunTrial(const Dataset& data,
     out.external_scores[gi] =
         OverallFMeasure(data.labels(), clustering.value(), &exclude);
     if (spec.with_silhouette) {
+      // The cached matrix holds exactly the doubles the on-the-fly scan
+      // computes, so the silhouettes are byte-identical either way.
       out.silhouettes[gi] =
-          SilhouetteCoefficient(data.points(), clustering.value());
+          cache != nullptr
+              ? SilhouetteCoefficient(
+                    *cache->Distances(Metric::kEuclidean, spec.exec),
+                    clustering.value())
+              : SilhouetteCoefficient(data.points(), clustering.value());
     }
   });
   for (const Status& status : sweep_errors) {
@@ -226,9 +239,18 @@ CellAggregate RunExperiment(const Dataset& data,
       PlanBudget(spec.exec, n_trials, spec.trial_threads, spec.nesting);
   TrialSpec trial_spec = spec;
   trial_spec.exec = budget.inner;
+  // One compute cache for the dataset, shared by every trial lane: the
+  // supervision-independent geometry (distances, OPTICS models) is
+  // identical across trials, so the first lane to need a structure builds
+  // it and everyone else reuses it. Trial results stay byte-identical —
+  // the cache only changes who computes the doubles, never their values.
+  std::optional<DatasetCache> cache;
+  if (spec.use_cache) cache.emplace(data.points());
+  DatasetCache* cache_ptr = cache.has_value() ? &*cache : nullptr;
   std::vector<TrialResult> results(n_trials);
   ParallelFor(budget.outer, n_trials, [&](size_t t) {
-    results[t] = RunTrial(data, clusterer, trial_spec, trial_seeds[t]);
+    results[t] = RunTrial(data, clusterer, trial_spec, trial_seeds[t],
+                          cache_ptr);
   });
 
   CellAggregate agg;

@@ -62,6 +62,17 @@ struct TrialSpec {
   /// help-while-waiting balancing; kSplit spends it all at one level.
   /// Results are identical for either policy.
   NestingPolicy nesting = NestingPolicy::kNested;
+  /// Share supervision-independent per-dataset structures (distance
+  /// matrix, OPTICS models) across all folds, grid values, and trials via
+  /// a per-dataset DatasetCache (core/dataset_cache.h). Results are
+  /// byte-identical with the cache on or off; off recomputes everything
+  /// per cell (the pre-cache behavior, kept for benchmarking).
+  bool use_cache = true;
+  /// Measured (param, fold) wall times fed to the cell cost model of every
+  /// trial's CVCP run (CellCostModel::prior_timings) — e.g. loaded from a
+  /// previous invocation via the bench `--timings-file` option. Execution
+  /// order only; results are identical with or without them.
+  std::vector<CvCellTiming> prior_timings;
 };
 
 /// Everything measured in one trial.
@@ -84,10 +95,15 @@ struct TrialResult {
   double silhouette_external = std::numeric_limits<double>::quiet_NaN();
 };
 
-/// Runs one trial. `trial_seed` fully determines the randomness.
+/// Runs one trial. `trial_seed` fully determines the randomness. `cache`,
+/// when non-null, is the dataset's compute cache, shared by the CVCP run,
+/// the full-supervision sweep, and the silhouette evaluations (and,
+/// through RunExperiment, by every concurrent trial of the dataset);
+/// results are byte-identical with or without it.
 TrialResult RunTrial(const Dataset& data,
                      const SemiSupervisedClusterer& clusterer,
-                     const TrialSpec& spec, uint64_t trial_seed);
+                     const TrialSpec& spec, uint64_t trial_seed,
+                     DatasetCache* cache = nullptr);
 
 /// Aggregate of one experimental cell (dataset x level x algorithm).
 /// All means/stds skip NaN entries and the paired t-tests drop pairs where

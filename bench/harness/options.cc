@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/distance.h"
+#include "common/strings.h"
+
 namespace cvcp::bench {
 
 namespace {
@@ -24,6 +27,22 @@ NestingPolicy ParseScheduler(const char* v, NestingPolicy fallback) {
   return fallback;
 }
 
+/// "on"/"1" → true, "off"/"0" → false; anything else keeps `fallback`.
+bool ParseOnOff(const char* v, bool fallback) {
+  if (v == nullptr) return fallback;
+  if (std::strcmp(v, "on") == 0 || std::strcmp(v, "1") == 0) return true;
+  if (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0) return false;
+  return fallback;
+}
+
+/// "unrolled" → true, "scalar" → false; anything else keeps `fallback`.
+bool ParseDistanceKernel(const char* v, bool fallback) {
+  if (v == nullptr) return fallback;
+  if (std::strcmp(v, "unrolled") == 0) return true;
+  if (std::strcmp(v, "scalar") == 0) return false;
+  return fallback;
+}
+
 }  // namespace
 
 BenchOptions ParseBenchOptions(int argc, char** argv) {
@@ -38,6 +57,13 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   o.trial_threads =
       static_cast<int>(EnvLong("CVCP_TRIAL_THREADS", o.trial_threads));
   o.nesting = ParseScheduler(std::getenv("CVCP_SCHEDULER"), o.nesting);
+  o.cache = ParseOnOff(std::getenv("CVCP_CACHE"), o.cache);
+  if (const char* v = std::getenv("CVCP_TIMINGS_FILE");
+      v != nullptr && *v != '\0') {
+    o.timings_file = v;
+  }
+  o.unrolled_distance = ParseDistanceKernel(std::getenv("CVCP_DISTANCE_KERNEL"),
+                                            o.unrolled_distance);
   for (int i = 1; i < argc; ++i) {
     auto next_long = [&](long fallback) {
       return i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : fallback;
@@ -61,6 +87,15 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       o.trial_threads = static_cast<int>(next_long(o.trial_threads));
     } else if (std::strcmp(argv[i], "--scheduler") == 0) {
       if (i + 1 < argc) o.nesting = ParseScheduler(argv[++i], o.nesting);
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      if (i + 1 < argc) o.cache = ParseOnOff(argv[++i], o.cache);
+    } else if (std::strcmp(argv[i], "--timings-file") == 0) {
+      if (i + 1 < argc) o.timings_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--distance-kernel") == 0) {
+      if (i + 1 < argc) {
+        o.unrolled_distance =
+            ParseDistanceKernel(argv[++i], o.unrolled_distance);
+      }
     }
   }
   if (o.trials < 2) o.trials = 2;  // paired t-test needs >= 2
@@ -68,6 +103,9 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   if (o.aloi_datasets < 1) o.aloi_datasets = 1;
   if (o.threads < 0) o.threads = 0;  // 0 = all hardware threads
   if (o.trial_threads < 0) o.trial_threads = 0;  // 0 = automatic split
+  // The kernel choice is process-wide state, not per-run config: apply it
+  // here so every bench picks it up with zero per-binary wiring.
+  SetUnrolledDistanceKernels(o.unrolled_distance);
   return o;
 }
 
@@ -95,10 +133,59 @@ void PrintBanner(const BenchOptions& options, const std::string& title,
       options.nesting == NestingPolicy::kNested ? "nested" : "split";
   std::printf(
       "scale: %d trials, %zu ALOI sets, %d-fold CV, seed %llu, %s, %s, "
-      "%s scheduler (--paper for full scale)\n\n",
+      "%s scheduler, cache %s (--paper for full scale)\n\n",
       options.trials, options.aloi_datasets, options.n_folds,
       static_cast<unsigned long long>(options.seed), threads, lanes,
-      scheduler);
+      scheduler, options.cache ? "on" : "off");
+}
+
+Result<std::vector<CvCellTiming>> LoadCellTimings(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status::NotFound(Format("cannot open timings file %s",
+                                   path.c_str()));
+  }
+  std::vector<CvCellTiming> timings;
+  char line[256];
+  int line_no = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    ++line_no;
+    // Skip blank lines and comments.
+    const char* p = line;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '\n' || *p == '#') continue;
+    CvCellTiming timing;
+    if (std::sscanf(p, "%d,%d,%lf", &timing.param, &timing.fold,
+                    &timing.wall_ms) != 3) {
+      std::fclose(file);
+      return Status::InvalidArgument(
+          Format("malformed timings line %d in %s", line_no, path.c_str()));
+    }
+    timings.push_back(timing);
+  }
+  std::fclose(file);
+  return timings;
+}
+
+Status SaveCellTimings(const std::string& path,
+                       const std::vector<CvCellTiming>& timings) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::InvalidArgument(
+        Format("cannot write timings file %s", path.c_str()));
+  }
+  std::fprintf(file, "# param,fold,wall_ms (CvcpReport::cell_timings)\n");
+  for (const CvCellTiming& timing : timings) {
+    // %.17g round-trips doubles, so reload == save exactly.
+    std::fprintf(file, "%d,%d,%.17g\n", timing.param, timing.fold,
+                 timing.wall_ms);
+  }
+  const bool write_failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (write_failed) {
+    return Status::Internal(Format("short write to %s", path.c_str()));
+  }
+  return Status::OK();
 }
 
 }  // namespace cvcp::bench

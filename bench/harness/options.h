@@ -9,8 +9,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/parallel.h"
+#include "common/status.h"
+#include "core/cross_validation.h"
 
 namespace cvcp::bench {
 
@@ -34,16 +37,46 @@ struct BenchOptions {
   /// help-while-waiting balancing; kSplit ("split") = the whole budget at
   /// one level. Results are identical for either (env CVCP_SCHEDULER).
   NestingPolicy nesting = NestingPolicy::kNested;
+  /// Per-dataset compute cache (core/dataset_cache.h): share the
+  /// supervision-independent structures across folds, grid values, and
+  /// trials. Results are byte-identical on or off; off restores the
+  /// recompute-per-cell behavior for comparison (env CVCP_CACHE, "on" /
+  /// "off" / "1" / "0").
+  bool cache = true;
+  /// Path for persisting measured per-cell wall times across bench
+  /// invocations: loaded (if the file exists) into the cell cost model so
+  /// the measured-longest-first schedule survives process restarts, and
+  /// saved by benches that collect timings (bench_micro). Empty = no
+  /// persistence (env CVCP_TIMINGS_FILE).
+  std::string timings_file;
+  /// Opt-in 4-accumulator-unrolled distance kernels
+  /// (SetUnrolledDistanceKernels). Off by default: the unrolled kernels
+  /// reassociate floating-point sums and are NOT byte-identical to the
+  /// scalar ones (env CVCP_DISTANCE_KERNEL, "unrolled" / "scalar").
+  bool unrolled_distance = false;
 };
 
 /// Parses env vars, then `--paper` / `--trials N` / `--aloi N` /
 /// `--folds N` / `--seed N` / `--threads N` / `--trial-threads N` /
-/// `--scheduler nested|split` flags (flags win).
+/// `--scheduler nested|split` / `--cache on|off` / `--timings-file PATH` /
+/// `--distance-kernel scalar|unrolled` flags (flags win). Also applies the
+/// distance-kernel choice process-wide (SetUnrolledDistanceKernels).
 BenchOptions ParseBenchOptions(int argc, char** argv);
 
 /// One-line banner describing the reproduction target and the scale.
 void PrintBanner(const BenchOptions& options, const std::string& title,
                  const std::string& paper_ref);
+
+/// Loads per-cell timings saved by SaveCellTimings ("param,fold,wall_ms"
+/// CSV lines). Errors with kNotFound when the file does not exist and
+/// kInvalidArgument on malformed lines.
+Result<std::vector<CvCellTiming>> LoadCellTimings(const std::string& path);
+
+/// Saves per-cell timings (e.g. CvcpReport::cell_timings) so a later
+/// invocation can feed them to CellCostModel::prior_timings via
+/// `--timings-file`. Overwrites the file.
+Status SaveCellTimings(const std::string& path,
+                       const std::vector<CvCellTiming>& timings);
 
 }  // namespace cvcp::bench
 

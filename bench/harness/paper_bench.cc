@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <optional>
 
 #include "common/stats.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "core/dataset_cache.h"
 #include "eval/boxplot.h"
 
 namespace cvcp::bench {
@@ -28,6 +30,8 @@ TrialSpec SpecFor(const PaperBenchContext& ctx, BenchAlgo algo,
   spec.exec.threads = ctx.options.threads;
   spec.trial_threads = ctx.options.trial_threads;
   spec.nesting = ctx.options.nesting;
+  spec.use_cache = ctx.options.cache;
+  spec.prior_timings = ctx.prior_timings;
   return spec;
 }
 
@@ -44,6 +48,17 @@ PaperBenchContext MakeContext(const BenchOptions& options) {
   ctx.options = options;
   ctx.aloi = MakeAloiK5Collection(options.seed, options.aloi_datasets);
   ctx.suite = MakePaperSuite(options.seed);
+  if (!options.timings_file.empty()) {
+    auto timings = LoadCellTimings(options.timings_file);
+    if (timings.ok()) {
+      ctx.prior_timings = std::move(timings).value();
+    } else if (timings.status().code() != StatusCode::kNotFound) {
+      // A missing file is normal on the first run; anything else (e.g. a
+      // corrupt file) deserves a loud note but must not kill the bench.
+      std::fprintf(stderr, "ignoring timings file: %s\n",
+                   timings.status().ToString().c_str());
+    }
+  }
   return ctx;
 }
 
@@ -231,10 +246,15 @@ void RunCurveFigure(const PaperBenchContext& ctx, BenchAlgo algo,
     std::vector<std::vector<double>> internal, external;
     std::vector<double> corrs;
     Rng seed_rng(CellSeed(ctx, d, 77));
+    // Same discipline as RunExperiment: one compute cache per dataset,
+    // shared by its trials (byte-identical results either way).
+    std::optional<DatasetCache> cache;
+    if (spec.use_cache) cache.emplace(ctx.aloi[d].points());
     for (int t = 0; t < ctx.options.trials; ++t) {
       TrialResult trial = RunTrial(ctx.aloi[d], *clusterer, spec,
                                    seed_rng.Fork(static_cast<uint64_t>(t))
-                                       .seed());
+                                       .seed(),
+                                   cache.has_value() ? &*cache : nullptr);
       if (!trial.ok) continue;
       internal.push_back(trial.internal_scores);
       external.push_back(trial.external_scores);

@@ -26,12 +26,14 @@ class DendrogramCutClusterer : public cvcp::SemiSupervisedClusterer {
   std::string name() const override { return "OPTICSDend-cut"; }
   std::string param_name() const override { return "clusters"; }
 
-  cvcp::Result<cvcp::Clustering> Cluster(const cvcp::Dataset& data,
-                                         const cvcp::Supervision& supervision,
-                                         int param,
-                                         cvcp::Rng* rng) const override {
+ protected:
+  cvcp::Result<cvcp::Clustering> DoCluster(
+      const cvcp::Dataset& data, const cvcp::Supervision& supervision,
+      int param, cvcp::Rng* rng,
+      const cvcp::ClusterContext& context) const override {
     (void)supervision;  // deliberately unsupervised
     (void)rng;
+    (void)context;  // recomputes its hierarchy; see DatasetCache for reuse
     cvcp::OpticsConfig config;
     config.min_pts = 4;
     auto optics = cvcp::RunOptics(data.points(), config);

@@ -80,7 +80,9 @@ class MpckState {
         centroids_(k_, d_),
         weights_(k_, d_, 1.0),
         log_det_(k_, 0.0),
-        assignment_(n_, 0) {}
+        assignment_(n_, 0) {
+    RecomputeMaxSeparations();
+  }
 
   void SetCentroids(Matrix init) { centroids_ = std::move(init); }
 
@@ -89,13 +91,12 @@ class MpckState {
     return WeightedSquaredEuclidean(a, b, weights_.Row(cluster));
   }
 
-  /// Cannot-link penalty scale for a cluster: metric-weighted squared range.
-  double MaxSeparation(size_t cluster) const {
-    double s = 0.0;
-    auto w = weights_.Row(cluster);
-    for (size_t m = 0; m < d_; ++m) s += w[m] * sq_range_[m];
-    return s;
-  }
+  /// Cannot-link penalty scale for a cluster: metric-weighted squared
+  /// range. The value only changes when the metric weights do (the
+  /// M-step), so it is cached per cluster by RecomputeMaxSeparations and
+  /// this is an O(1) read inside the per-pair cannot-link loops instead of
+  /// an O(d) sum per violated pair.
+  double MaxSeparation(size_t cluster) const { return max_sep_[cluster]; }
 
   /// Cost of putting object i into cluster h given current assignments.
   double AssignmentCost(size_t i, size_t h) const {
@@ -244,6 +245,7 @@ class MpckState {
       for (size_t m = 0; m < d_; ++m) ld += std::log(w[m]);
       log_det_[h] = ld;
     }
+    RecomputeMaxSeparations();
   }
 
   /// Full objective at the current state.
@@ -282,6 +284,20 @@ class MpckState {
   size_t n() const { return n_; }
 
  private:
+  /// Refreshes the cached per-cluster MaxSeparation values. Same loop,
+  /// same summation order as the old per-call computation, so the cached
+  /// doubles are bitwise-identical to computing on demand; it just runs
+  /// once per M-step instead of once per violated cannot-link pair.
+  void RecomputeMaxSeparations() {
+    max_sep_.assign(k_, 0.0);
+    for (size_t h = 0; h < k_; ++h) {
+      double s = 0.0;
+      auto w = weights_.Row(h);
+      for (size_t m = 0; m < d_; ++m) s += w[m] * sq_range_[m];
+      max_sep_[h] = s;
+    }
+  }
+
   const Matrix& points_;
   const MpckMeansConfig& config_;
   size_t n_, d_, k_;
@@ -290,6 +306,7 @@ class MpckState {
   Matrix centroids_;
   Matrix weights_;
   std::vector<double> log_det_;
+  std::vector<double> max_sep_;  ///< cached MaxSeparation per cluster
   std::vector<int> assignment_;
 };
 

@@ -27,6 +27,19 @@ enum class Metric {
 double Distance(std::span<const double> a, std::span<const double> b,
                 Metric metric);
 
+/// Opt-in 4-accumulator-unrolled inner loops for the squared-Euclidean,
+/// Manhattan, and weighted squared-Euclidean kernels (process-wide,
+/// thread-safe). OFF by default and deliberately so: the unrolled kernels
+/// reassociate the floating-point sums, which is faster on wide cores but
+/// NOT bitwise-identical to the scalar left-to-right order — enabling
+/// them opts out of the byte-identical determinism contract (results
+/// differ from the scalar kernels by rounding, typically ~1 ulp per
+/// term). Benches expose this as `--distance-kernel scalar|unrolled`.
+void SetUnrolledDistanceKernels(bool enabled);
+
+/// Current process-wide kernel choice (false = bitwise-compat scalar).
+bool UnrolledDistanceKernelsEnabled();
+
 double EuclideanDistance(std::span<const double> a, std::span<const double> b);
 double SquaredEuclideanDistance(std::span<const double> a,
                                 std::span<const double> b);

@@ -2,28 +2,51 @@
 
 #include "cluster/dendrogram.h"
 #include "cluster/optics.h"
+#include "core/dataset_cache.h"
 
 namespace cvcp {
 
-Result<Clustering> FoscOpticsDendClusterer::Cluster(
-    const Dataset& data, const Supervision& supervision, int param,
-    Rng* rng) const {
-  (void)rng;  // the pipeline is deterministic
+Result<FoscOpticsModel> FoscOpticsDendClusterer::BuildModel(const Dataset& data,
+                                                            int param) const {
   OpticsConfig optics_config;
   optics_config.min_pts = param;
   optics_config.metric = metric_;
   CVCP_ASSIGN_OR_RETURN(OpticsResult optics,
                         RunOptics(data.points(), optics_config));
-  const Dendrogram dendrogram = Dendrogram::FromReachability(optics);
+  FoscOpticsModel model;
+  model.optics = std::move(optics);
+  model.dendrogram = Dendrogram::FromReachability(model.optics);
+  return model;
+}
+
+Result<Clustering> FoscOpticsDendClusterer::ExtractWithSupervision(
+    const FoscOpticsModel& model, const Supervision& supervision) const {
   CVCP_ASSIGN_OR_RETURN(
       FoscResult fosc,
-      ExtractClusters(dendrogram, supervision.constraints(), fosc_));
+      ExtractClusters(model.dendrogram, supervision.constraints(), fosc_));
   return fosc.clustering;
 }
 
-Result<Clustering> MpckMeansClusterer::Cluster(const Dataset& data,
-                                               const Supervision& supervision,
-                                               int param, Rng* rng) const {
+Result<Clustering> FoscOpticsDendClusterer::DoCluster(
+    const Dataset& data, const Supervision& supervision, int param, Rng* rng,
+    const ClusterContext& context) const {
+  (void)rng;  // the pipeline is deterministic
+  if (context.cache != nullptr) {
+    // Memoized supervision-independent model: OPTICS runs once per
+    // (metric, MinPts) for the dataset instead of once per fold×trial.
+    CVCP_ASSIGN_OR_RETURN(
+        std::shared_ptr<const FoscOpticsModel> model,
+        context.cache->FoscModel(metric_, param, context.exec));
+    return ExtractWithSupervision(*model, supervision);
+  }
+  CVCP_ASSIGN_OR_RETURN(FoscOpticsModel model, BuildModel(data, param));
+  return ExtractWithSupervision(model, supervision);
+}
+
+Result<Clustering> MpckMeansClusterer::DoCluster(
+    const Dataset& data, const Supervision& supervision, int param, Rng* rng,
+    const ClusterContext& context) const {
+  (void)context;  // supervision shapes every stage; nothing to reuse
   MpckMeansConfig config = base_;
   config.k = param;
   CVCP_ASSIGN_OR_RETURN(
@@ -32,9 +55,10 @@ Result<Clustering> MpckMeansClusterer::Cluster(const Dataset& data,
   return result.clustering;
 }
 
-Result<Clustering> CopKMeansClusterer::Cluster(const Dataset& data,
-                                               const Supervision& supervision,
-                                               int param, Rng* rng) const {
+Result<Clustering> CopKMeansClusterer::DoCluster(
+    const Dataset& data, const Supervision& supervision, int param, Rng* rng,
+    const ClusterContext& context) const {
+  (void)context;
   CopKMeansConfig config = base_;
   config.k = param;
   Result<CopKMeansResult> result =
@@ -52,10 +76,11 @@ Result<Clustering> CopKMeansClusterer::Cluster(const Dataset& data,
   return fallback.clustering;
 }
 
-Result<Clustering> KMeansClusterer::Cluster(const Dataset& data,
-                                            const Supervision& supervision,
-                                            int param, Rng* rng) const {
+Result<Clustering> KMeansClusterer::DoCluster(
+    const Dataset& data, const Supervision& supervision, int param, Rng* rng,
+    const ClusterContext& context) const {
   (void)supervision;
+  (void)context;
   KMeansConfig config = base_;
   config.k = param;
   CVCP_ASSIGN_OR_RETURN(KMeansResult result,

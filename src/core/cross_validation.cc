@@ -97,7 +97,7 @@ Result<std::vector<CvScore>> ScoreGridOnFolds(
     SupervisionKind kind, const SemiSupervisedClusterer& clusterer,
     const std::vector<int>& param_grid, Rng* rng,
     const ExecutionContext& exec, const CellCostModel& cost,
-    std::vector<CvCellTiming>* timings) {
+    DatasetCache* cache, std::vector<CvCellTiming>* timings) {
   const size_t n_folds = folds.size();
   const size_t n_cells = param_grid.size() * n_folds;
   if (timings != nullptr) timings->clear();
@@ -130,8 +130,8 @@ Result<std::vector<CvScore>> ScoreGridOnFolds(
             ? Supervision::FromLabelArray(fold.train_labels)
             : Supervision::FromConstraints(fold.train_constraints);
     Rng cell_rng = cell.rng;
-    Result<Clustering> clustering =
-        clusterer.Cluster(data, train, cell.param, &cell_rng);
+    Result<Clustering> clustering = clusterer.Cluster(
+        data, train, cell.param, &cell_rng, ClusterContext{cache, exec});
     CvCellResult& out = results[c];
     if (clustering.ok()) {
       out.score =
@@ -206,10 +206,12 @@ Result<CvScore> ScoreParamOnFolds(const Dataset& data,
                                   SupervisionKind kind,
                                   const SemiSupervisedClusterer& clusterer,
                                   int param, Rng* rng,
-                                  const ExecutionContext& exec) {
+                                  const ExecutionContext& exec,
+                                  DatasetCache* cache) {
   CVCP_ASSIGN_OR_RETURN(
       std::vector<CvScore> scores,
-      ScoreGridOnFolds(data, folds, kind, clusterer, {param}, rng, exec));
+      ScoreGridOnFolds(data, folds, kind, clusterer, {param}, rng, exec,
+                       CellCostModel{}, cache));
   return std::move(scores.front());
 }
 

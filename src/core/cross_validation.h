@@ -106,14 +106,18 @@ struct CvScore {
 /// scores are reduced in (grid-order, fold-order) sequence with
 /// first-error-wins Status propagation. Returned scores are bit-identical
 /// to scoring each param serially, for every thread count and execution
-/// order. When `timings` is non-null it is filled with one entry per cell
-/// in (grid-order, fold-order).
+/// order. When `cache` is non-null every cell clusters through the
+/// per-dataset compute cache (supervision-independent stages — distance
+/// matrix, OPTICS models — are built once and shared across the G×F
+/// cells; results stay byte-identical, see core/dataset_cache.h). When
+/// `timings` is non-null it is filled with one entry per cell in
+/// (grid-order, fold-order).
 Result<std::vector<CvScore>> ScoreGridOnFolds(
     const Dataset& data, const std::vector<FoldSplit>& folds,
     SupervisionKind kind, const SemiSupervisedClusterer& clusterer,
     const std::vector<int>& param_grid, Rng* rng,
     const ExecutionContext& exec = ExecutionContext::Serial(),
-    const CellCostModel& cost = {},
+    const CellCostModel& cost = {}, DatasetCache* cache = nullptr,
     std::vector<CvCellTiming>* timings = nullptr);
 
 /// Scores `param` on prebuilt folds. The clusterer sees each fold's
@@ -124,7 +128,8 @@ Result<std::vector<CvScore>> ScoreGridOnFolds(
 Result<CvScore> ScoreParamOnFolds(
     const Dataset& data, const std::vector<FoldSplit>& folds,
     SupervisionKind kind, const SemiSupervisedClusterer& clusterer, int param,
-    Rng* rng, const ExecutionContext& exec = ExecutionContext::Serial());
+    Rng* rng, const ExecutionContext& exec = ExecutionContext::Serial(),
+    DatasetCache* cache = nullptr);
 
 /// Convenience: folds + score in one call (fresh folds for this parameter).
 /// Forks the fold/score RNG streams exactly as RunCvcp does, so for the

@@ -6,7 +6,8 @@ namespace cvcp {
 
 Result<CvcpReport> RunCvcp(const Dataset& data, const Supervision& supervision,
                            const SemiSupervisedClusterer& clusterer,
-                           const CvcpConfig& config, Rng* rng) {
+                           const CvcpConfig& config, Rng* rng,
+                           DatasetCache* cache) {
   if (config.param_grid.empty()) {
     return Status::InvalidArgument("CVCP needs a non-empty parameter grid");
   }
@@ -26,7 +27,7 @@ Result<CvcpReport> RunCvcp(const Dataset& data, const Supervision& supervision,
       std::vector<CvScore> cv_scores,
       ScoreGridOnFolds(data, folds, supervision.kind(), clusterer,
                        config.param_grid, &score_rng, config.cv.exec,
-                       config.cv.cost,
+                       config.cv.cost, cache,
                        config.collect_timings ? &report.cell_timings
                                               : nullptr));
 
@@ -55,7 +56,8 @@ Result<CvcpReport> RunCvcp(const Dataset& data, const Supervision& supervision,
   Rng final_rng = rng->Fork(0xF17A1ULL);
   CVCP_ASSIGN_OR_RETURN(
       report.final_clustering,
-      clusterer.Cluster(data, supervision, report.best_param, &final_rng));
+      clusterer.Cluster(data, supervision, report.best_param, &final_rng,
+                        ClusterContext{cache, config.cv.exec}));
   return report;
 }
 

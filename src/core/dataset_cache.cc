@@ -1,0 +1,91 @@
+#include "core/dataset_cache.h"
+
+#include <chrono>
+
+namespace cvcp {
+
+namespace {
+
+double MsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::shared_ptr<const DistanceMatrix> DatasetCache::Distances(
+    Metric metric, const ExecutionContext& exec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = distances_.find(metric);
+    if (it != distances_.end()) {
+      distance_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Key missing: build without holding the lock (the build may fan out on
+  // the pool) and without ever waiting on another thread's in-flight
+  // build — see the deadlock rationale in the header. First publisher
+  // wins; a racing duplicate is bitwise-identical and discarded.
+  const auto start = std::chrono::steady_clock::now();
+  auto built = std::make_shared<const DistanceMatrix>(
+      DistanceMatrix::Compute(*points_, metric, exec));
+  const double ms = MsSince(start);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++distance_builds_;
+  distance_build_ms_ += ms;
+  auto [it, inserted] = distances_.emplace(metric, std::move(built));
+  return it->second;
+}
+
+Result<std::shared_ptr<const FoscOpticsModel>> DatasetCache::FoscModel(
+    Metric metric, int min_pts, const ExecutionContext& exec) {
+  const std::pair<int, int> key{static_cast<int>(metric), min_pts};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(key);
+    if (it != models_.end()) {
+      model_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // The distance build is *not* part of the model wall time: it is shared
+  // by every param and reported as its own stage.
+  const std::shared_ptr<const DistanceMatrix> distances =
+      Distances(metric, exec);
+  const auto start = std::chrono::steady_clock::now();
+  ModelResult result = [&]() -> ModelResult {
+    OpticsConfig config;
+    config.min_pts = min_pts;
+    config.metric = metric;
+    Result<OpticsResult> optics = RunOptics(*distances, config);
+    if (!optics.ok()) return optics.status();
+    auto model = std::make_shared<FoscOpticsModel>();
+    model->optics = std::move(optics).value();
+    model->dendrogram = Dendrogram::FromReachability(model->optics);
+    return std::shared_ptr<const FoscOpticsModel>(std::move(model));
+  }();
+  const double ms = MsSince(start);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++model_builds_;
+  model_build_ms_ += ms;
+  auto [it, inserted] = models_.emplace(key, std::move(result));
+  return it->second;
+}
+
+DatasetCache::Stats DatasetCache::stats() const {
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.distance_builds = distance_builds_;
+    out.model_builds = model_builds_;
+    out.distance_build_ms = distance_build_ms_;
+    out.model_build_ms = model_build_ms_;
+  }
+  out.distance_hits = distance_hits_.load(std::memory_order_relaxed);
+  out.model_hits = model_hits_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace cvcp

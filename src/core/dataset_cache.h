@@ -1,0 +1,135 @@
+#ifndef CVCP_CORE_DATASET_CACHE_H_
+#define CVCP_CORE_DATASET_CACHE_H_
+
+/// \file
+/// Per-dataset compute cache for the supervision-independent stages of the
+/// CVCP pipeline. The paper's protocol runs one dataset through
+/// G grid values × F folds × T trials, but the expensive geometry —
+/// pairwise distances, OPTICS reachability, the OPTICSDend dendrogram —
+/// depends only on (points, metric, param), never on the supervision or
+/// the RNG. A `DatasetCache` therefore memoizes:
+///
+///   * one condensed `DistanceMatrix` per metric, built lazily by the
+///     first caller (parallel `DistanceMatrix::Compute`) and shared by
+///     every CVCP cell, selector sweep, and trial lane that follows;
+///   * one `FoscOpticsModel` (OPTICS result + dendrogram) per
+///     (metric, MinPts) key — with the cache, `ScoreGridOnFolds` runs
+///     OPTICS once per grid value instead of once per (grid value, fold)
+///     cell per trial.
+///
+/// Concurrency model — never block, duplicate on race: a caller that
+/// finds its key missing builds the structure itself and the *first*
+/// publisher wins; racing losers throw their (bitwise-identical) copy
+/// away and adopt the published one. Blocking guards (`std::call_once`,
+/// waiting on a shared future) are deliberately NOT used: under the
+/// help-while-waiting scheduler (common/parallel.h) a thread that is
+/// mid-build may adopt another queued cell, and if that cell blocked on
+/// the very build suspended beneath it on the same stack, the process
+/// would deadlock. Duplicate-on-race keeps every thread runnable at the
+/// cost of at most one redundant build per racing thread on first touch —
+/// and because the builds are deterministic, which copy wins is
+/// unobservable in the results.
+///
+/// Determinism contract: the cache returns the *same doubles* the
+/// uncached path computes — `DistanceMatrix::Compute` calls the same
+/// `Distance()` the on-the-fly scans call, and OPTICS over the matrix is
+/// the same algorithm over the same values — so every report, selection,
+/// and experiment table is byte-identical with the cache on or off
+/// (pinned by tests/cache_determinism_test.cc).
+///
+/// Lifetime: a cache instance borrows the points matrix; it must not
+/// outlive the dataset it was created for. All methods are thread-safe.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "cluster/dendrogram.h"
+#include "cluster/optics.h"
+#include "common/distance.h"
+#include "common/matrix.h"
+#include "common/parallel.h"
+#include "common/status.h"
+
+namespace cvcp {
+
+/// The supervision-independent model of one FOSC-OPTICSDend run: the
+/// OPTICS cluster ordering and the reachability dendrogram built from it.
+/// Identical for every fold and trial at the same (metric, MinPts), which
+/// is exactly what makes it cacheable: constraints only enter at the FOSC
+/// extraction stage (see FoscOpticsDendClusterer::ExtractWithSupervision).
+struct FoscOpticsModel {
+  OpticsResult optics;
+  Dendrogram dendrogram;
+};
+
+/// Thread-safe, lazily-built cache of per-dataset structures. One
+/// instance per dataset; shared by reference across every fold, grid
+/// value, and trial that clusters that dataset.
+class DatasetCache {
+ public:
+  /// Borrows `points` (no copy). The cache must not outlive it.
+  explicit DatasetCache(const Matrix& points) : points_(&points) {}
+
+  DatasetCache(const DatasetCache&) = delete;
+  DatasetCache& operator=(const DatasetCache&) = delete;
+
+  const Matrix& points() const { return *points_; }
+
+  /// The condensed pairwise distance matrix under `metric`. The first
+  /// caller builds it with `DistanceMatrix::Compute` on `exec.threads`
+  /// workers; later callers share the published matrix (O(1) lookups
+  /// instead of O(d) distance evaluations). Racing first-touch callers
+  /// each build and the first publisher wins (see file comment). The
+  /// returned pointer keeps the matrix alive independent of the cache.
+  std::shared_ptr<const DistanceMatrix> Distances(
+      Metric metric, const ExecutionContext& exec);
+
+  /// The memoized FOSC-OPTICSDend model for (metric, min_pts): OPTICS over
+  /// the cached distance matrix plus the dendrogram. Build errors (e.g.
+  /// min_pts out of range) are memoized too, so every caller sees exactly
+  /// the status the uncached path would return.
+  Result<std::shared_ptr<const FoscOpticsModel>> FoscModel(
+      Metric metric, int min_pts, const ExecutionContext& exec);
+
+  /// Cache effectiveness counters (for the bench_micro cache table). A
+  /// "build" is a call that actually computed the structure — under a
+  /// first-touch race several callers may build the same key, so builds
+  /// can exceed the number of distinct keys; a "hit" is a call served
+  /// from the published memo. Build wall times are summed per stage
+  /// (every computed build counts, including racing duplicates).
+  struct Stats {
+    uint64_t distance_builds = 0;
+    uint64_t distance_hits = 0;
+    uint64_t model_builds = 0;
+    uint64_t model_hits = 0;
+    double distance_build_ms = 0.0;
+    double model_build_ms = 0.0;
+  };
+  Stats stats() const;
+
+ private:
+  using ModelResult = Result<std::shared_ptr<const FoscOpticsModel>>;
+
+  const Matrix* points_;
+
+  mutable std::mutex mu_;
+  std::map<Metric, std::shared_ptr<const DistanceMatrix>> distances_;
+  std::map<std::pair<int, int>, ModelResult> models_;
+
+  // Stats counters; the build counters/times are only touched around a
+  // build and share `mu_`, the hot hit counters are atomic.
+  std::atomic<uint64_t> distance_hits_{0};
+  std::atomic<uint64_t> model_hits_{0};
+  uint64_t distance_builds_ = 0;
+  uint64_t model_builds_ = 0;
+  double distance_build_ms_ = 0.0;
+  double model_build_ms_ = 0.0;
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_CORE_DATASET_CACHE_H_

@@ -4,13 +4,14 @@
 #include <limits>
 
 #include "cluster/silhouette.h"
+#include "core/dataset_cache.h"
 
 namespace cvcp {
 
 Result<SilhouetteSelection> SelectBySilhouette(
     const Dataset& data, const Supervision& supervision,
     const SemiSupervisedClusterer& clusterer, std::span<const int> param_grid,
-    Rng* rng) {
+    Rng* rng, const ClusterContext& context) {
   if (param_grid.empty()) {
     return Status::InvalidArgument(
         "silhouette selection needs a non-empty parameter grid");
@@ -27,8 +28,15 @@ Result<SilhouetteSelection> SelectBySilhouette(
     Rng run_rng = rng->Fork(gi);
     CVCP_ASSIGN_OR_RETURN(
         Clustering clustering,
-        clusterer.Cluster(data, supervision, param, &run_rng));
-    const double sil = SilhouetteCoefficient(data.points(), clustering);
+        clusterer.Cluster(data, supervision, param, &run_rng, context));
+    // Same doubles either way: the cached matrix holds exactly the
+    // distances the on-the-fly scan computes, in the same positions.
+    const double sil =
+        context.cache != nullptr
+            ? SilhouetteCoefficient(
+                  *context.cache->Distances(Metric::kEuclidean, context.exec),
+                  clustering)
+            : SilhouetteCoefficient(data.points(), clustering);
     sel.silhouettes.push_back(sil);
     if (!std::isnan(sil) && (!have_best || sil > sel.best_silhouette)) {
       sel.best_silhouette = sil;

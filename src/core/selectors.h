@@ -31,12 +31,16 @@ struct SilhouetteSelection {
 /// the clustering with the highest silhouette coefficient. Each run's RNG
 /// is forked from `rng` by grid *index* — the same scheme as the bench
 /// harness's full-supervision sweep, so both entry points produce the same
-/// clustering at the same grid position. Errors with kInvalidArgument for
-/// an empty grid and kFailedPrecondition if every silhouette is undefined.
+/// clustering at the same grid position. When `context` carries a
+/// DatasetCache, every run clusters through it and the silhouettes are
+/// computed against its cached distance matrix (O(1) lookups instead of
+/// O(d) distance evaluations per pair) — the selection is byte-identical
+/// either way. Errors with kInvalidArgument for an empty grid and
+/// kFailedPrecondition if every silhouette is undefined.
 Result<SilhouetteSelection> SelectBySilhouette(
     const Dataset& data, const Supervision& supervision,
     const SemiSupervisedClusterer& clusterer, std::span<const int> param_grid,
-    Rng* rng);
+    Rng* rng, const ClusterContext& context = {});
 
 /// Expected quality of guessing the parameter uniformly from the grid:
 /// the mean of `external_scores` ignoring NaNs (paper §4.3). NaN if all

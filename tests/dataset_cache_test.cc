@@ -1,0 +1,190 @@
+// Unit tests for the per-dataset compute cache: lazy builds, memo hits,
+// error memoization, per-metric separation, and safety under concurrent
+// access (the concurrency tests double as TSan targets). The cache never
+// blocks — first-touch races duplicate the build and the first publisher
+// wins — so the concurrency assertions are on convergence (everyone ends
+// up with the published object) rather than on exactly-one build.
+
+#include "core/dataset_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/optics.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "data/generators.h"
+
+namespace cvcp {
+namespace {
+
+Matrix FixturePoints(size_t n) {
+  std::vector<std::vector<double>> rows;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    rows.push_back({x * 1.3 - 2.0, 0.02 * x * x, 17.0 - x});
+  }
+  return Matrix::FromRows(rows);
+}
+
+TEST(DatasetCacheTest, DistancesBuiltOnceAndMatchDirectCompute) {
+  Matrix points = FixturePoints(20);
+  DatasetCache cache(points);
+  const auto first =
+      cache.Distances(Metric::kEuclidean, ExecutionContext::Serial());
+  const auto second =
+      cache.Distances(Metric::kEuclidean, ExecutionContext::Serial());
+  EXPECT_EQ(first.get(), second.get());  // one build, shared object
+
+  const DistanceMatrix direct =
+      DistanceMatrix::Compute(points, Metric::kEuclidean);
+  ASSERT_EQ(first->n(), direct.n());
+  for (size_t i = 0; i < direct.n(); ++i) {
+    for (size_t j = 0; j < direct.n(); ++j) {
+      EXPECT_EQ(std::bit_cast<uint64_t>((*first)(i, j)),
+                std::bit_cast<uint64_t>(direct(i, j)))
+          << i << "," << j;
+    }
+  }
+
+  const DatasetCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.distance_builds, 1u);
+  EXPECT_EQ(stats.distance_hits, 1u);
+  EXPECT_GE(stats.distance_build_ms, 0.0);
+}
+
+TEST(DatasetCacheTest, DistancesKeyedByMetric) {
+  Matrix points = FixturePoints(10);
+  DatasetCache cache(points);
+  const auto euclid =
+      cache.Distances(Metric::kEuclidean, ExecutionContext::Serial());
+  const auto manhattan =
+      cache.Distances(Metric::kManhattan, ExecutionContext::Serial());
+  EXPECT_NE(euclid.get(), manhattan.get());
+  EXPECT_EQ(cache.stats().distance_builds, 2u);
+  EXPECT_EQ(std::bit_cast<uint64_t>((*manhattan)(0, 1)),
+            std::bit_cast<uint64_t>(
+                ManhattanDistance(points.Row(0), points.Row(1))));
+}
+
+TEST(DatasetCacheTest, MatrixOutlivesReleasedCacheEntry) {
+  Matrix points = FixturePoints(8);
+  std::shared_ptr<const DistanceMatrix> kept;
+  {
+    DatasetCache cache(points);
+    kept = cache.Distances(Metric::kEuclidean, ExecutionContext::Serial());
+  }
+  // The shared_ptr keeps the matrix alive past the cache's lifetime.
+  EXPECT_EQ(kept->n(), 8u);
+  EXPECT_GT((*kept)(0, 7), 0.0);
+}
+
+TEST(DatasetCacheTest, FoscModelMemoizedAndIdenticalToDirectOptics) {
+  Matrix points = FixturePoints(30);
+  DatasetCache cache(points);
+  auto first = cache.FoscModel(Metric::kEuclidean, 4,
+                               ExecutionContext::Serial());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.FoscModel(Metric::kEuclidean, 4,
+                                ExecutionContext::Serial());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get());  // same model object
+
+  // The cached model is the exact OPTICS result the uncached
+  // points-overload computes: same ordering, bit-identical reachability
+  // and core distances.
+  OpticsConfig config;
+  config.min_pts = 4;
+  auto direct = RunOptics(points, config);
+  ASSERT_TRUE(direct.ok());
+  const OpticsResult& cached = first.value()->optics;
+  EXPECT_EQ(cached.order, direct->order);
+  ASSERT_EQ(cached.reachability.size(), direct->reachability.size());
+  for (size_t i = 0; i < cached.reachability.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(cached.reachability[i]),
+              std::bit_cast<uint64_t>(direct->reachability[i]))
+        << "position " << i;
+  }
+  ASSERT_EQ(cached.core_distance.size(), direct->core_distance.size());
+  for (size_t i = 0; i < cached.core_distance.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(cached.core_distance[i]),
+              std::bit_cast<uint64_t>(direct->core_distance[i]))
+        << "object " << i;
+  }
+  EXPECT_EQ(first.value()->dendrogram.num_objects(), points.rows());
+
+  const DatasetCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.model_builds, 1u);
+  EXPECT_EQ(stats.model_hits, 1u);
+  EXPECT_EQ(stats.distance_builds, 1u);  // the model build shares it
+}
+
+TEST(DatasetCacheTest, ModelsKeyedByMinPts) {
+  Matrix points = FixturePoints(15);
+  DatasetCache cache(points);
+  auto a = cache.FoscModel(Metric::kEuclidean, 2, ExecutionContext::Serial());
+  auto b = cache.FoscModel(Metric::kEuclidean, 5, ExecutionContext::Serial());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().get(), b.value().get());
+  const DatasetCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.model_builds, 2u);
+  EXPECT_EQ(stats.distance_builds, 1u);  // shared across params
+  EXPECT_EQ(stats.distance_hits, 1u);
+}
+
+TEST(DatasetCacheTest, ErrorsMemoizedWithUncachedStatus) {
+  Matrix points = FixturePoints(5);
+  DatasetCache cache(points);
+  // min_pts > n: the uncached path rejects this; the cache must return
+  // exactly the same status, on the build and on every hit.
+  OpticsConfig config;
+  config.min_pts = 99;
+  const Status direct = RunOptics(points, config).status();
+  auto first =
+      cache.FoscModel(Metric::kEuclidean, 99, ExecutionContext::Serial());
+  auto second =
+      cache.FoscModel(Metric::kEuclidean, 99, ExecutionContext::Serial());
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.status(), direct);
+  EXPECT_EQ(second.status(), direct);
+  EXPECT_EQ(cache.stats().model_builds, 1u);
+  EXPECT_EQ(cache.stats().model_hits, 1u);
+}
+
+TEST(DatasetCacheTest, ConcurrentRequestsConvergeOnOnePublishedObject) {
+  Matrix points = FixturePoints(40);
+  DatasetCache cache(points);
+  ExecutionContext exec;
+  exec.threads = 8;
+  constexpr size_t kCallers = 16;
+  std::vector<std::shared_ptr<const FoscOpticsModel>> models(kCallers);
+  std::vector<std::shared_ptr<const DistanceMatrix>> matrices(kCallers);
+  ParallelFor(exec, kCallers, [&](size_t i) {
+    matrices[i] = cache.Distances(Metric::kEuclidean, exec);
+    auto model = cache.FoscModel(Metric::kEuclidean, 3, exec);
+    ASSERT_TRUE(model.ok());
+    models[i] = model.value();
+  });
+  // First publisher wins: racing callers may each have built, but every
+  // *returned* object is the published one.
+  for (size_t i = 1; i < kCallers; ++i) {
+    EXPECT_EQ(matrices[i].get(), matrices[0].get());
+    EXPECT_EQ(models[i].get(), models[0].get());
+  }
+  const DatasetCache::Stats stats = cache.stats();
+  EXPECT_GE(stats.distance_builds, 1u);
+  EXPECT_GE(stats.model_builds, 1u);
+  // Every call either built or hit (the model build's internal Distances
+  // call adds one distance access).
+  EXPECT_EQ(stats.distance_builds + stats.distance_hits,
+            kCallers + stats.model_builds);
+  EXPECT_EQ(stats.model_builds + stats.model_hits, kCallers);
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -2,13 +2,61 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
 
 #include "common/rng.h"
 #include "data/generators.h"
 
 namespace cvcp {
 namespace {
+
+/// Naive per-object rescan silhouette — the pre-optimization
+/// implementation, kept verbatim as the bitwise reference for the
+/// group-sum single-pass rewrite in silhouette.cc.
+double ReferenceSilhouette(const Matrix& points, const Clustering& clustering,
+                           Metric metric = Metric::kEuclidean) {
+  const size_t n = points.rows();
+  const std::vector<std::vector<size_t>> groups = clustering.Groups();
+  if (groups.size() < 2) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<int> group_of(n, -1);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (size_t o : groups[g]) group_of[o] = static_cast<int>(g);
+  }
+  double total = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int gi = group_of[i];
+    if (gi < 0) continue;
+    ++counted;
+    if (groups[static_cast<size_t>(gi)].size() == 1) continue;
+    double a = 0.0;
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t g = 0; g < groups.size(); ++g) {
+      double sum = 0.0;
+      size_t cnt = 0;
+      for (size_t o : groups[g]) {
+        if (o == i) continue;
+        sum += Distance(points.Row(i), points.Row(o), metric);
+        ++cnt;
+      }
+      if (cnt == 0) continue;
+      const double mean = sum / static_cast<double>(cnt);
+      if (static_cast<int>(g) == gi) {
+        a = mean;
+      } else {
+        b = std::min(b, mean);
+      }
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  if (counted == 0) return std::numeric_limits<double>::quiet_NaN();
+  return total / static_cast<double>(counted);
+}
 
 TEST(SilhouetteTest, HandComputedTwoClusters) {
   // Points: {0}, {1} in cluster 0; {10}, {11} in cluster 1 (1-d).
@@ -73,6 +121,59 @@ TEST(SilhouetteTest, DistanceMatrixVariantAgrees) {
   const double via_dm = SilhouetteCoefficient(
       DistanceMatrix::Compute(data.points(), Metric::kEuclidean), c);
   EXPECT_NEAR(direct, via_dm, 1e-12);
+}
+
+TEST(SilhouetteTest, GroupSumRewriteBitIdenticalToRescan) {
+  // The single-pass group-sum implementation claims bitwise equality with
+  // the naive per-object rescan (same summation order, argument-symmetric
+  // metrics). Pin it on irregular data with noise, singletons, and
+  // duplicate points, under every metric.
+  Rng rng(71);
+  Dataset data = MakeBlobs("pin", 4, 20, 3, 8.0, 2.0, &rng);
+  std::vector<int> assignment = data.labels();
+  ASSERT_EQ(assignment.size(), 80u);
+  // Sprinkle noise, a singleton cluster, and an imbalanced relabel.
+  assignment[3] = kNoise;
+  assignment[17] = kNoise;
+  assignment[41] = 7;  // singleton cluster id
+  for (size_t i = 60; i < 70 && i < assignment.size(); ++i) {
+    assignment[i] = 0;
+  }
+  Clustering clustering(assignment);
+  for (Metric metric : {Metric::kEuclidean, Metric::kSquaredEuclidean,
+                        Metric::kManhattan, Metric::kCosine}) {
+    const double fast =
+        SilhouetteCoefficient(data.points(), clustering, metric);
+    const double reference =
+        ReferenceSilhouette(data.points(), clustering, metric);
+    EXPECT_EQ(std::bit_cast<uint64_t>(fast),
+              std::bit_cast<uint64_t>(reference))
+        << "metric " << static_cast<int>(metric);
+  }
+  // And the DistanceMatrix overload against the same reference.
+  const double via_dm = SilhouetteCoefficient(
+      DistanceMatrix::Compute(data.points(), Metric::kEuclidean), clustering);
+  EXPECT_EQ(std::bit_cast<uint64_t>(via_dm),
+            std::bit_cast<uint64_t>(
+                ReferenceSilhouette(data.points(), clustering)));
+}
+
+TEST(SilhouetteTest, GroupSumRewriteBitIdenticalOnRandomClusterings) {
+  Rng rng(72);
+  Dataset data = MakeBlobs("rand", 3, 15, 2, 5.0, 1.5, &rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<int> assignment(data.size());
+    for (auto& a : assignment) {
+      const size_t draw = rng.Index(5);
+      a = draw == 4 ? kNoise : static_cast<int>(draw);
+    }
+    Clustering clustering(assignment);
+    const double fast = SilhouetteCoefficient(data.points(), clustering);
+    const double reference = ReferenceSilhouette(data.points(), clustering);
+    EXPECT_EQ(std::bit_cast<uint64_t>(fast),
+              std::bit_cast<uint64_t>(reference))
+        << "trial " << trial;
+  }
 }
 
 TEST(SimplifiedSilhouetteTest, TracksExactOnSeparatedData) {
