@@ -23,5 +23,6 @@ int main(int argc, char** argv) {
       ctx, BenchAlgo::kCop, Scenario::kLabels, {0.10},
       "COP-KMeans — correlation of internal scores with Overall F-Measure "
       "at 10% labels");
+  PrintStoreStats(ctx);
   return 0;
 }

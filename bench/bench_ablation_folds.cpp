@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
     spec.exec.threads = options.threads;
     spec.trial_threads = options.trial_threads;
     spec.nesting = options.nesting;
+    spec.use_cache = options.cache;
+    spec.cache_pool = ctx.cache_pool.get();
 
     AloiAggregate aloi = RunAloiExperiment(ctx.aloi, fosc, spec,
                                            options.trials, options.seed);
@@ -52,5 +54,6 @@ int main(int argc, char** argv) {
       "\nReading: CVCP should beat Expected at every n; very small n gives\n"
       "noisier internal scores (larger CVCP std), very large n starves the\n"
       "test folds of constraints.\n");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -168,5 +168,6 @@ int main(int argc, char** argv) {
         "cannot measure\ngeneralization.\n",
         sound_bias_sum / over_n, naive_bias_sum / over_n);
   }
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
     spec.exec.threads = options.threads;
     spec.trial_threads = options.trial_threads;
     spec.nesting = options.nesting;
+    spec.use_cache = options.cache;
+    spec.cache_pool = ctx.cache_pool.get();
     spec.grid = MakeKGrid(wine.NumClasses());
     CellAggregate wine_cell =
         RunExperiment(wine, clusterer, spec, options.trials, options.seed);
@@ -64,5 +66,6 @@ int main(int argc, char** argv) {
       "\nReading: on scale-skewed data (Wine-like) metric learning should "
       "lift quality;\non bounded homogeneous features (ALOI) the variants "
       "should be close.\n");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -86,5 +86,6 @@ int main(int argc, char** argv) {
       "satisfied,\nrewarding extractions that cluster nothing — hence the "
       "singleton default.\n",
       flips);
+  PrintStoreStats(ctx);
   return 0;
 }

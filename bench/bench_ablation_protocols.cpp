@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
       "\nReading: the gap between use-all-data and the sound protocols "
       "grows with the\nsupervision budget — scoring trained-on objects "
       "overstates quality (§2's warning).\n");
+  PrintStoreStats(ctx);
   return 0;
 }

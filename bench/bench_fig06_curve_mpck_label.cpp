@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   PaperBenchContext ctx = MakeContext(options);
   RunCurveFigure(ctx, BenchAlgo::kMpck, Scenario::kLabels, 0.1,
                  "Figure 6: MPCKmeans (label scenario) — internal vs external curves, representative ALOI set, 10% labels");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   PaperBenchContext ctx = MakeContext(options);
   RunCurveFigure(ctx, BenchAlgo::kMpck, Scenario::kConstraints, 0.1,
                  "Figure 8: MPCKmeans (constraint scenario) — internal vs external curves, representative ALOI set, 10% of pool");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -10,5 +10,6 @@ int main(int argc, char** argv) {
   RunBoxplotFigure(ctx, BenchAlgo::kFosc, Scenario::kLabels,
                    {0.05, 0.10, 0.20},
                    "Figure 9: FOSC-OPTICSDend (label scenario) — ALOI quality distributions, CVCP vs Expected");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -10,5 +10,6 @@ int main(int argc, char** argv) {
   RunBoxplotFigure(ctx, BenchAlgo::kMpck, Scenario::kLabels,
                    {0.05, 0.10, 0.20},
                    "Figure 10: MPCKmeans (label scenario) — ALOI quality distributions, CVCP vs Expected vs Silhouette");
+  PrintStoreStats(ctx);
   return 0;
 }

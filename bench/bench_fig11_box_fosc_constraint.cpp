@@ -10,5 +10,6 @@ int main(int argc, char** argv) {
   RunBoxplotFigure(ctx, BenchAlgo::kFosc, Scenario::kConstraints,
                    {0.10, 0.20, 0.50},
                    "Figure 11: FOSC-OPTICSDend (constraint scenario) — ALOI quality distributions, CVCP vs Expected");
+  PrintStoreStats(ctx);
   return 0;
 }

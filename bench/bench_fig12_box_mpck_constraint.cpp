@@ -10,5 +10,6 @@ int main(int argc, char** argv) {
   RunBoxplotFigure(ctx, BenchAlgo::kMpck, Scenario::kConstraints,
                    {0.10, 0.20, 0.50},
                    "Figure 12: MPCKmeans (constraint scenario) — ALOI quality distributions, CVCP vs Expected vs Silhouette");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -11,11 +11,16 @@
 //
 // Unlike the paper benches, this binary takes google-benchmark flags; the
 // few engine options it supports (--threads N, --timings-file PATH,
-// --cache-table-only) are stripped from argv before
-// benchmark::Initialize. --timings-file makes the CVCP scaling table save
-// its measured cell timings and, when the file already exists, drives the
-// "file timings" cost-model row from it — the measured schedule
-// persisting across process restarts.
+// --cache-table-only, --store DIR, --json PATH) are stripped from argv
+// before benchmark::Initialize. --timings-file makes the CVCP scaling
+// table save its measured cell timings and, when the file already exists,
+// drives the "file timings" cost-model row from it — the measured
+// schedule persisting across process restarts. --store DIR adds
+// store-cold / store-warm rows to the cache table (the warm row must
+// serve every OPTICS model from disk) and persists the cell timings as a
+// store artifact. Every table row is mirrored into a machine-readable
+// JSON report (--json PATH, default BENCH_micro.json; pass '' to
+// disable).
 
 #include <benchmark/benchmark.h>
 
@@ -41,6 +46,8 @@
 #include "constraints/folds.h"
 #include "constraints/oracle.h"
 #include "constraints/transitive_closure.h"
+#include "common/strings.h"
+#include "core/artifact_store.h"
 #include "core/cvcp.h"
 #include "core/dataset_cache.h"
 #include "core/fmeasure.h"
@@ -61,6 +68,34 @@ Dataset BenchData(size_t per_cluster, int k, size_t dims) {
 // baseline; main() exits nonzero so the CI smoke steps actually fail on
 // a determinism regression instead of only printing it.
 bool g_determinism_ok = true;
+
+// Machine-readable mirror of every scaling-table row, emitted as
+// BENCH_micro.json (--json PATH; empty disables). Each entry is one
+// complete JSON object; WriteJsonReport wraps them with the determinism
+// verdict.
+std::vector<std::string> g_json_rows;
+
+void AddJsonRow(std::string row) { g_json_rows.push_back(std::move(row)); }
+
+void WriteJsonReport(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write JSON report %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file,
+               "{\n  \"bench\": \"bench_micro\",\n"
+               "  \"determinism_ok\": %s,\n  \"rows\": [\n",
+               g_determinism_ok ? "true" : "false");
+  for (size_t i = 0; i < g_json_rows.size(); ++i) {
+    std::fprintf(file, "    %s%s\n", g_json_rows[i].c_str(),
+                 i + 1 < g_json_rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("wrote %zu JSON rows to %s\n", g_json_rows.size(),
+              path.c_str());
+}
 
 // NaN-safe exact equality: compares bit patterns, so NaN == NaN (same
 // payload) and +0.0 != -0.0 — the byte-identity the engine guarantees.
@@ -203,8 +238,11 @@ BENCHMARK(BM_ConstraintFMeasure)->Arg(25)->Arg(50)->Arg(100);
 // process's first parallel run, the "file timings" row (only with
 // --timings-file and an existing file) uses a *previous invocation's*
 // timings, and with --timings-file the measured timings are saved so the
-// next invocation starts measured-longest-first.
-void PrintCvcpScalingTable(const std::string& timings_file) {
+// next invocation starts measured-longest-first. With --store the same
+// persistence runs through the artifact store instead of a flat file
+// (the "store timings" row), exercising the cell-timings artifact kind.
+void PrintCvcpScalingTable(const std::string& timings_file,
+                           const std::string& store_dir) {
   Dataset data = BenchData(/*per_cluster=*/40, /*k=*/5, /*dims=*/16);
   Rng rng(23);
   auto labeled = SampleLabeledObjects(data, 0.3, &rng);
@@ -253,6 +291,10 @@ void PrintCvcpScalingTable(const std::string& timings_file) {
       serial_score = report->best_score;
       std::printf("%-16s %8d %12.1f %9.2fx %9.2f%% %s\n", label, threads, ms,
                   1.0, 100.0, "(baseline)");
+      AddJsonRow(Format(
+          "{\"table\": \"cvcp_scaling\", \"mode\": \"%s\", \"threads\": %d, "
+          "\"wall_ms\": %.3f, \"speedup\": 1.0, \"matches\": true}",
+          label, threads, ms));
     } else {
       const bool matches = report->best_param == serial_best &&
                            BitsEqual(report->best_score, serial_score);
@@ -261,6 +303,10 @@ void PrintCvcpScalingTable(const std::string& timings_file) {
       std::printf("%-16s %8d %12.1f %9.2fx %9.2f%% %s\n", label, threads, ms,
                   speedup, 100.0 * speedup / threads,
                   matches ? "yes" : "NO — DETERMINISM BUG");
+      AddJsonRow(Format(
+          "{\"table\": \"cvcp_scaling\", \"mode\": \"%s\", \"threads\": %d, "
+          "\"wall_ms\": %.3f, \"speedup\": %.3f, \"matches\": %s}",
+          label, threads, ms, speedup, matches ? "true" : "false"));
     }
   };
   for (int threads : thread_counts) {
@@ -289,6 +335,27 @@ void PrintCvcpScalingTable(const std::string& timings_file) {
                   timings_file.c_str());
     }
   }
+  if (!store_dir.empty()) {
+    // Same persistence through the artifact store: a previous
+    // invocation's timings (if any) drive a row, then this run's measured
+    // timings are saved under the dataset's content hash.
+    ArtifactStore store(store_dir);
+    const uint64_t key = HashMatrixContent(data.points());
+    auto prior = store.LoadCellTimings(key, "bench_micro_cvcp");
+    if (prior.ok() && hw >= 2) {
+      config.cv.cost.prior_timings = std::move(prior).value();
+      run_row("store timings", hw);
+      config.cv.cost.prior_timings.clear();
+    }
+    const Status saved = store.SaveCellTimings(key, "bench_micro_cvcp",
+                                               measured);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+    } else {
+      std::printf("persisted %zu cell timings to store %s\n",
+                  measured.size(), store_dir.c_str());
+    }
+  }
   std::printf("\n");
 }
 
@@ -302,7 +369,14 @@ void PrintCvcpScalingTable(const std::string& timings_file) {
 // The table prints per-stage wall time (distance build, OPTICS model
 // builds) and hit counts next to the speedup columns, and cross-checks
 // that cached reports match the uncached baseline bit for bit.
-void PrintFoscCacheTable(int threads) {
+//
+// With --store DIR two more rows run against the persistent tier: the
+// "store-cold" row purges DIR and populates it, the "store-warm" row uses
+// a *fresh* DatasetCache over the same directory — so every model on the
+// warm row must come from disk (model_builds = 0, model_loads = G), which
+// is the in-process rehearsal of the cross-process warm start. A warm row
+// that rebuilds anything fails the run like a determinism bug would.
+void PrintFoscCacheTable(int threads, const std::string& store_dir) {
   Dataset data = BenchData(/*per_cluster=*/40, /*k=*/5, /*dims=*/16);
   Rng rng(37);
   auto pool = BuildConstraintPool(data, 0.25, &rng);
@@ -325,16 +399,20 @@ void PrintFoscCacheTable(int threads) {
       "dependent runs, n=%zu, %d threads) ===\n",
       config.cv.n_folds, config.param_grid.size(), cells, data.size(),
       threads);
-  std::printf("%-10s %8s %12s %9s %7s %10s %10s %8s %9s %s\n", "cache",
-              "threads", "wall_ms", "speedup", "optics", "model_hit",
-              "dist_b/h", "dist_ms", "optics_ms", "matches uncached");
+  std::printf("%-10s %8s %12s %9s %7s %6s %10s %10s %8s %9s %s\n", "cache",
+              "threads", "wall_ms", "speedup", "optics", "loads",
+              "model_hit", "dist_b/h", "dist_ms", "optics_ms",
+              "matches uncached");
 
   double baseline_ms = 0.0;
   CvcpReport baseline;
-  auto run_row = [&](bool cache_on, int row_threads) {
+  auto run_row = [&](const char* label, bool cache_on, int row_threads,
+                     ArtifactStore* store, bool expect_warm) {
     config.cv.exec.threads = row_threads;
     std::optional<DatasetCache> cache;
-    if (cache_on) cache.emplace(data.points());
+    if (cache_on) {
+      cache.emplace(data.points(), DatasetCacheTiers{nullptr, store});
+    }
     Rng run_rng(43);
     const auto start = std::chrono::steady_clock::now();
     auto report = RunCvcp(data, supervision, clusterer, config, &run_rng,
@@ -357,29 +435,85 @@ void PrintFoscCacheTable(int threads) {
                              baseline.final_clustering.assignment();
     if (!is_baseline && !matches) g_determinism_ok = false;
     // Uncached rows run OPTICS once per cell by construction; cached rows
-    // report the cache's actual build/hit counters.
+    // report the cache's actual build/load/hit counters.
     DatasetCache::Stats stats;
     if (cache.has_value()) stats = cache->stats();
+    const bool warm_ok =
+        !expect_warm || (stats.model_builds == 0 && stats.model_loads > 0);
+    if (!warm_ok) g_determinism_ok = false;
     const uint64_t optics_runs =
         cache_on ? stats.model_builds : static_cast<uint64_t>(cells);
     char dist_col[32];
     std::snprintf(dist_col, sizeof(dist_col), "%llu/%llu",
                   static_cast<unsigned long long>(stats.distance_builds),
                   static_cast<unsigned long long>(stats.distance_hits));
-    std::printf("%-10s %8d %12.1f %8.2fx %7llu %10llu %10s %8.1f %9.1f %s\n",
-                cache_on ? "on" : "off", row_threads, ms, baseline_ms / ms,
-                static_cast<unsigned long long>(optics_runs),
-                static_cast<unsigned long long>(stats.model_hits), dist_col,
-                stats.distance_build_ms, stats.model_build_ms,
-                is_baseline      ? "(baseline)"
-                : matches        ? "yes"
-                                 : "NO — DETERMINISM BUG");
+    std::printf(
+        "%-10s %8d %12.1f %8.2fx %7llu %6llu %10llu %10s %8.1f %9.1f %s\n",
+        label, row_threads, ms, baseline_ms / ms,
+        static_cast<unsigned long long>(optics_runs),
+        static_cast<unsigned long long>(stats.model_loads),
+        static_cast<unsigned long long>(stats.model_hits), dist_col,
+        stats.distance_build_ms, stats.model_build_ms,
+        is_baseline ? "(baseline)"
+        : !matches  ? "NO — DETERMINISM BUG"
+        : !warm_ok  ? "yes, but STORE NOT WARM"
+                    : "yes");
+    AddJsonRow(Format(
+        "{\"table\": \"fosc_cache\", \"label\": \"%s\", \"threads\": %d, "
+        "\"wall_ms\": %.3f, \"optics_runs\": %llu, \"model_builds\": %llu, "
+        "\"model_loads\": %llu, \"model_hits\": %llu, "
+        "\"dist_builds\": %llu, \"dist_loads\": %llu, \"dist_hits\": %llu, "
+        "\"dist_ms\": %.3f, \"optics_ms\": %.3f, \"matches\": %s}",
+        label, row_threads, ms,
+        static_cast<unsigned long long>(optics_runs),
+        static_cast<unsigned long long>(stats.model_builds),
+        static_cast<unsigned long long>(stats.model_loads),
+        static_cast<unsigned long long>(stats.model_hits),
+        static_cast<unsigned long long>(stats.distance_builds),
+        static_cast<unsigned long long>(stats.distance_loads),
+        static_cast<unsigned long long>(stats.distance_hits),
+        stats.distance_build_ms, stats.model_build_ms,
+        matches && warm_ok ? "true" : "false"));
   };
-  run_row(/*cache_on=*/false, /*row_threads=*/1);
-  run_row(/*cache_on=*/true, /*row_threads=*/1);
+  run_row("off", /*cache_on=*/false, /*row_threads=*/1, nullptr, false);
+  run_row("on", /*cache_on=*/true, /*row_threads=*/1, nullptr, false);
   if (threads > 1) {
-    run_row(/*cache_on=*/false, threads);
-    run_row(/*cache_on=*/true, threads);
+    run_row("off", /*cache_on=*/false, threads, nullptr, false);
+    run_row("on", /*cache_on=*/true, threads, nullptr, false);
+  }
+  if (!store_dir.empty()) {
+    ArtifactStore store(store_dir);
+    auto purged = store.Purge();
+    if (!purged.ok()) {
+      std::fprintf(stderr, "%s\n", purged.status().ToString().c_str());
+    }
+    run_row("store-cold", /*cache_on=*/true, /*row_threads=*/1, &store,
+            /*expect_warm=*/false);
+    run_row("store-warm", /*cache_on=*/true, /*row_threads=*/1, &store,
+            /*expect_warm=*/true);
+    const ArtifactStore::Stats ss = store.stats();
+    std::printf(
+        "store %s: disk_hits=%llu disk_misses=%llu writes=%llu "
+        "bytes_written=%llu bytes_read=%llu\n",
+        store_dir.c_str(), static_cast<unsigned long long>(ss.disk_hits),
+        static_cast<unsigned long long>(ss.disk_misses),
+        static_cast<unsigned long long>(ss.writes),
+        static_cast<unsigned long long>(ss.bytes_written),
+        static_cast<unsigned long long>(ss.bytes_read));
+    AddJsonRow(Format(
+        "{\"table\": \"store\", \"dir\": \"%s\", \"disk_hits\": %llu, "
+        "\"disk_misses\": %llu, \"corrupt_misses\": %llu, "
+        "\"version_misses\": %llu, \"writes\": %llu, "
+        "\"write_errors\": %llu, \"bytes_written\": %llu, "
+        "\"bytes_read\": %llu}",
+        store_dir.c_str(), static_cast<unsigned long long>(ss.disk_hits),
+        static_cast<unsigned long long>(ss.disk_misses),
+        static_cast<unsigned long long>(ss.corrupt_misses),
+        static_cast<unsigned long long>(ss.version_misses),
+        static_cast<unsigned long long>(ss.writes),
+        static_cast<unsigned long long>(ss.write_errors),
+        static_cast<unsigned long long>(ss.bytes_written),
+        static_cast<unsigned long long>(ss.bytes_read)));
   }
   std::printf("\n");
 }
@@ -398,8 +532,8 @@ struct ExperimentScalingBaseline {
 void RunExperimentScalingRow(const Dataset& data,
                              const MpckMeansClusterer& clusterer,
                              cvcp::bench::TrialSpec spec, int trials,
-                             const char* label, int threads,
-                             int trial_threads,
+                             const char* table, const char* label,
+                             int threads, int trial_threads,
                              cvcp::NestingPolicy nesting,
                              ExperimentScalingBaseline* baseline) {
   spec.exec.threads = threads;
@@ -418,6 +552,10 @@ void RunExperimentScalingRow(const Dataset& data,
     baseline->serial_ok = agg.trials_ok;
     std::printf("%-14s %8d %12.1f %9.2fx %9.2f%% %s\n", label, threads, ms,
                 1.0, 100.0, "(baseline)");
+    AddJsonRow(Format(
+        "{\"table\": \"%s\", \"mode\": \"%s\", \"threads\": %d, "
+        "\"wall_ms\": %.3f, \"speedup\": 1.0, \"matches\": true}",
+        table, label, threads, ms));
   } else {
     const bool matches = mean_bits == baseline->serial_mean_bits &&
                          agg.trials_ok == baseline->serial_ok;
@@ -426,6 +564,10 @@ void RunExperimentScalingRow(const Dataset& data,
     std::printf("%-14s %8d %12.1f %9.2fx %9.2f%% %s\n", label, threads, ms,
                 speedup, 100.0 * speedup / threads,
                 matches ? "yes" : "NO — DETERMINISM BUG");
+    AddJsonRow(Format(
+        "{\"table\": \"%s\", \"mode\": \"%s\", \"threads\": %d, "
+        "\"wall_ms\": %.3f, \"speedup\": %.3f, \"matches\": %s}",
+        table, label, threads, ms, speedup, matches ? "true" : "false"));
   }
 }
 
@@ -456,15 +598,18 @@ void PrintTrialScalingTable() {
               "speedup", "efficiency", "matches serial");
 
   ExperimentScalingBaseline baseline;
-  RunExperimentScalingRow(data, clusterer, spec, trials, "serial", 1, 1,
-                          NestingPolicy::kSplit, &baseline);
+  RunExperimentScalingRow(data, clusterer, spec, trials, "trial_scaling",
+                          "serial", 1, 1, NestingPolicy::kSplit, &baseline);
   if (hw >= 2) {
-    RunExperimentScalingRow(data, clusterer, spec, trials, "CVCP-level", hw,
-                            1, NestingPolicy::kSplit, &baseline);
-    RunExperimentScalingRow(data, clusterer, spec, trials, "trial-level", hw,
-                            0, NestingPolicy::kSplit, &baseline);
-    RunExperimentScalingRow(data, clusterer, spec, trials, "nested", hw, 0,
-                            NestingPolicy::kNested, &baseline);
+    RunExperimentScalingRow(data, clusterer, spec, trials, "trial_scaling",
+                            "CVCP-level", hw, 1, NestingPolicy::kSplit,
+                            &baseline);
+    RunExperimentScalingRow(data, clusterer, spec, trials, "trial_scaling",
+                            "trial-level", hw, 0, NestingPolicy::kSplit,
+                            &baseline);
+    RunExperimentScalingRow(data, clusterer, spec, trials, "trial_scaling",
+                            "nested", hw, 0, NestingPolicy::kNested,
+                            &baseline);
   }
   std::printf("\n");
 }
@@ -505,12 +650,14 @@ void PrintNestedVsSplitTable() {
               "speedup", "efficiency", "matches serial");
 
   ExperimentScalingBaseline baseline;
-  RunExperimentScalingRow(data, clusterer, spec, trials, "serial", 1, 1,
-                          NestingPolicy::kSplit, &baseline);
-  RunExperimentScalingRow(data, clusterer, spec, trials, "split-budget",
-                          budget, 0, NestingPolicy::kSplit, &baseline);
-  RunExperimentScalingRow(data, clusterer, spec, trials, "nested-width",
-                          budget, 0, NestingPolicy::kNested, &baseline);
+  RunExperimentScalingRow(data, clusterer, spec, trials, "nested_vs_split",
+                          "serial", 1, 1, NestingPolicy::kSplit, &baseline);
+  RunExperimentScalingRow(data, clusterer, spec, trials, "nested_vs_split",
+                          "split-budget", budget, 0, NestingPolicy::kSplit,
+                          &baseline);
+  RunExperimentScalingRow(data, clusterer, spec, trials, "nested_vs_split",
+                          "nested-width", budget, 0, NestingPolicy::kNested,
+                          &baseline);
   std::printf("\n");
 }
 
@@ -520,6 +667,8 @@ struct MicroOptions {
   int threads = 0;           // 0 = all hardware threads (cache table width)
   std::string timings_file;  // persist CVCP cell timings across invocations
   bool cache_table_only = false;  // print the cache table and exit (CI smoke)
+  std::string store_dir;  // artifact store dir: store-cold/warm rows + timings
+  std::string json_path = "BENCH_micro.json";  // "" (via --json '') disables
 };
 
 MicroOptions StripMicroOptions(int* argc, char** argv) {
@@ -532,6 +681,10 @@ MicroOptions StripMicroOptions(int* argc, char** argv) {
       o.timings_file = argv[++i];
     } else if (std::strcmp(argv[i], "--cache-table-only") == 0) {
       o.cache_table_only = true;
+    } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < *argc) {
+      o.store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      o.json_path = argv[++i];
     } else {
       argv[out++] = argv[i];
     }
@@ -551,14 +704,16 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   if (options.cache_table_only) {
-    PrintFoscCacheTable(table_threads);
+    PrintFoscCacheTable(table_threads, options.store_dir);
+    if (!options.json_path.empty()) WriteJsonReport(options.json_path);
     benchmark::Shutdown();
     return g_determinism_ok ? 0 : 1;
   }
-  PrintCvcpScalingTable(options.timings_file);
+  PrintCvcpScalingTable(options.timings_file, options.store_dir);
   PrintTrialScalingTable();
   PrintNestedVsSplitTable();
-  PrintFoscCacheTable(table_threads);
+  PrintFoscCacheTable(table_threads, options.store_dir);
+  if (!options.json_path.empty()) WriteJsonReport(options.json_path);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   // Nonzero on any "NO — DETERMINISM BUG" row so the CI smoke steps fail

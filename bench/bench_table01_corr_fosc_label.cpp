@@ -10,5 +10,6 @@ int main(int argc, char** argv) {
   RunCorrelationTable(ctx, BenchAlgo::kFosc, Scenario::kLabels,
                       {0.05, 0.10, 0.20},
                       "Table 1: FOSC-OPTICSDend (label scenario) — correlation of internal scores with Overall F-Measure");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -10,5 +10,6 @@ int main(int argc, char** argv) {
   RunCorrelationTable(ctx, BenchAlgo::kFosc, Scenario::kConstraints,
                       {0.10, 0.20, 0.50},
                       "Table 3: FOSC-OPTICSDend (constraint scenario) — correlation of internal scores with Overall F-Measure");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   PaperBenchContext ctx = MakeContext(options);
   RunPerformanceTable(ctx, BenchAlgo::kFosc, Scenario::kLabels, 0.05,
                       "Table 5: FOSC-OPTICSDend (label scenario) — average performance, 5% labeled objects");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   PaperBenchContext ctx = MakeContext(options);
   RunPerformanceTable(ctx, BenchAlgo::kFosc, Scenario::kLabels, 0.2,
                       "Table 7: FOSC-OPTICSDend (label scenario) — average performance, 20% labeled objects");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   PaperBenchContext ctx = MakeContext(options);
   RunPerformanceTable(ctx, BenchAlgo::kMpck, Scenario::kLabels, 0.05,
                       "Table 8: MPCKmeans (label scenario) — average performance, 5% labeled objects");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   PaperBenchContext ctx = MakeContext(options);
   RunPerformanceTable(ctx, BenchAlgo::kMpck, Scenario::kLabels, 0.1,
                       "Table 9: MPCKmeans (label scenario) — average performance, 10% labeled objects");
+  PrintStoreStats(ctx);
   return 0;
 }

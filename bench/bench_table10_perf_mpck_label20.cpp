@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   PaperBenchContext ctx = MakeContext(options);
   RunPerformanceTable(ctx, BenchAlgo::kMpck, Scenario::kLabels, 0.2,
                       "Table 10: MPCKmeans (label scenario) — average performance, 20% labeled objects");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   PaperBenchContext ctx = MakeContext(options);
   RunPerformanceTable(ctx, BenchAlgo::kFosc, Scenario::kConstraints, 0.1,
                       "Table 11: FOSC-OPTICSDend (constraint scenario) — average performance, 10% of constraint pool");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   PaperBenchContext ctx = MakeContext(options);
   RunPerformanceTable(ctx, BenchAlgo::kFosc, Scenario::kConstraints, 0.2,
                       "Table 12: FOSC-OPTICSDend (constraint scenario) — average performance, 20% of constraint pool");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -9,5 +9,6 @@ int main(int argc, char** argv) {
   PaperBenchContext ctx = MakeContext(options);
   RunPerformanceTable(ctx, BenchAlgo::kMpck, Scenario::kConstraints, 0.5,
                       "Table 16: MPCKmeans (constraint scenario) — average performance, 50% of constraint pool");
+  PrintStoreStats(ctx);
   return 0;
 }

@@ -244,9 +244,24 @@ CellAggregate RunExperiment(const Dataset& data,
   // identical across trials, so the first lane to need a structure builds
   // it and everyone else reuses it. Trial results stay byte-identical —
   // the cache only changes who computes the doubles, never their values.
+  // A run-wide pool (shared LRU + optional disk store) takes precedence:
+  // geometry then outlives this experiment and is shared across
+  // supervision levels and datasets. Otherwise fall back to a private
+  // per-experiment cache.
   std::optional<DatasetCache> cache;
-  if (spec.use_cache) cache.emplace(data.points());
-  DatasetCache* cache_ptr = cache.has_value() ? &*cache : nullptr;
+  DatasetCache* cache_ptr = nullptr;
+  if (spec.use_cache) {
+    if (spec.cache_pool != nullptr) {
+      cache_ptr = spec.cache_pool->For(data.points());
+    } else {
+      cache.emplace(data.points());
+      cache_ptr = &*cache;
+    }
+  }
+  // Build (or load, on a warm store) the whole supervision-independent
+  // phase up front, so the fan-out below starts with a fully warm cache
+  // and the disk tier is consulted once per artifact instead of racing.
+  clusterer.PrewarmCache(data, spec.grid, cache_ptr, spec.exec);
   std::vector<TrialResult> results(n_trials);
   ParallelFor(budget.outer, n_trials, [&](size_t t) {
     results[t] = RunTrial(data, clusterer, trial_spec, trial_seeds[t],

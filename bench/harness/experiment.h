@@ -26,6 +26,10 @@
 #include "core/clusterer.h"
 #include "core/cvcp.h"
 
+namespace cvcp {
+class DatasetCachePool;  // core/dataset_cache.h
+}
+
 namespace cvcp::bench {
 
 /// Which supervision scenario a trial uses.
@@ -68,6 +72,14 @@ struct TrialSpec {
   /// byte-identical with the cache on or off; off recomputes everything
   /// per cell (the pre-cache behavior, kept for benchmarking).
   bool use_cache = true;
+  /// Optional run-wide cache pool (one shared memory LRU + optional
+  /// persistent ArtifactStore tier). When set and `use_cache` is true,
+  /// `RunExperiment` fronts the dataset through `cache_pool->For(...)` —
+  /// so trials at *different supervision levels*, different tables, and
+  /// different datasets of a bench run share geometry, and a warm store
+  /// directory satisfies model builds from disk. Null keeps the original
+  /// per-experiment private cache. Results are byte-identical either way.
+  DatasetCachePool* cache_pool = nullptr;
   /// Measured (param, fold) wall times fed to the cell cost model of every
   /// trial's CVCP run (CellCostModel::prior_timings) — e.g. loaded from a
   /// previous invocation via the bench `--timings-file` option. Execution

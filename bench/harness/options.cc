@@ -62,6 +62,11 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       v != nullptr && *v != '\0') {
     o.timings_file = v;
   }
+  if (const char* v = std::getenv("CVCP_STORE"); v != nullptr && *v != '\0') {
+    o.store_dir = v;
+  }
+  o.store_capacity_mb = static_cast<int>(
+      EnvLong("CVCP_STORE_CAPACITY_MB", o.store_capacity_mb));
   o.unrolled_distance = ParseDistanceKernel(std::getenv("CVCP_DISTANCE_KERNEL"),
                                             o.unrolled_distance);
   for (int i = 1; i < argc; ++i) {
@@ -91,6 +96,10 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
       if (i + 1 < argc) o.cache = ParseOnOff(argv[++i], o.cache);
     } else if (std::strcmp(argv[i], "--timings-file") == 0) {
       if (i + 1 < argc) o.timings_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      if (i + 1 < argc) o.store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-capacity-mb") == 0) {
+      o.store_capacity_mb = static_cast<int>(next_long(o.store_capacity_mb));
     } else if (std::strcmp(argv[i], "--distance-kernel") == 0) {
       if (i + 1 < argc) {
         o.unrolled_distance =
@@ -103,6 +112,7 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   if (o.aloi_datasets < 1) o.aloi_datasets = 1;
   if (o.threads < 0) o.threads = 0;  // 0 = all hardware threads
   if (o.trial_threads < 0) o.trial_threads = 0;  // 0 = automatic split
+  if (o.store_capacity_mb < 1) o.store_capacity_mb = 1;
   // The kernel choice is process-wide state, not per-run config: apply it
   // here so every bench picks it up with zero per-binary wiring.
   SetUnrolledDistanceKernels(o.unrolled_distance);

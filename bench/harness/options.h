@@ -49,6 +49,18 @@ struct BenchOptions {
   /// saved by benches that collect timings (bench_micro). Empty = no
   /// persistence (env CVCP_TIMINGS_FILE).
   std::string timings_file;
+  /// Directory of the persistent artifact store (core/artifact_store.h):
+  /// condensed distance matrices and OPTICS models are written there and
+  /// loaded back on later runs — a second process on a warm directory
+  /// performs zero OPTICS rebuilds for cached keys. Results are
+  /// byte-identical cold or warm. Empty = no disk tier
+  /// (env CVCP_STORE, flag `--store DIR`).
+  std::string store_dir;
+  /// Capacity of the run-wide shared memory cache tier in MiB; artifacts
+  /// past the bound are evicted least-recently-used and transparently
+  /// reloaded or recomputed (env CVCP_STORE_CAPACITY_MB,
+  /// flag `--store-capacity-mb N`).
+  int store_capacity_mb = 256;
   /// Opt-in 4-accumulator-unrolled distance kernels
   /// (SetUnrolledDistanceKernels). Off by default: the unrolled kernels
   /// reassociate floating-point sums and are NOT byte-identical to the
@@ -59,6 +71,7 @@ struct BenchOptions {
 /// Parses env vars, then `--paper` / `--trials N` / `--aloi N` /
 /// `--folds N` / `--seed N` / `--threads N` / `--trial-threads N` /
 /// `--scheduler nested|split` / `--cache on|off` / `--timings-file PATH` /
+/// `--store DIR` / `--store-capacity-mb N` /
 /// `--distance-kernel scalar|unrolled` flags (flags win). Also applies the
 /// distance-kernel choice process-wide (SetUnrolledDistanceKernels).
 BenchOptions ParseBenchOptions(int argc, char** argv);

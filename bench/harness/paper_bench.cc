@@ -31,6 +31,7 @@ TrialSpec SpecFor(const PaperBenchContext& ctx, BenchAlgo algo,
   spec.trial_threads = ctx.options.trial_threads;
   spec.nesting = ctx.options.nesting;
   spec.use_cache = ctx.options.cache;
+  spec.cache_pool = ctx.cache_pool.get();
   spec.prior_timings = ctx.prior_timings;
   return spec;
 }
@@ -59,6 +60,12 @@ PaperBenchContext MakeContext(const BenchOptions& options) {
                    timings.status().ToString().c_str());
     }
   }
+  if (!options.store_dir.empty()) {
+    ctx.store = std::make_unique<ArtifactStore>(options.store_dir);
+  }
+  ctx.cache_pool = std::make_unique<DatasetCachePool>(
+      static_cast<size_t>(options.store_capacity_mb) * 1024 * 1024,
+      ctx.store.get());
   return ctx;
 }
 
@@ -246,15 +253,25 @@ void RunCurveFigure(const PaperBenchContext& ctx, BenchAlgo algo,
     std::vector<std::vector<double>> internal, external;
     std::vector<double> corrs;
     Rng seed_rng(CellSeed(ctx, d, 77));
-    // Same discipline as RunExperiment: one compute cache per dataset,
-    // shared by its trials (byte-identical results either way).
-    std::optional<DatasetCache> cache;
-    if (spec.use_cache) cache.emplace(ctx.aloi[d].points());
+    // Same discipline as RunExperiment: front the dataset with the
+    // run-wide pool when available, else a private per-dataset cache
+    // (byte-identical results either way).
+    std::optional<DatasetCache> local_cache;
+    DatasetCache* cache_ptr = nullptr;
+    if (spec.use_cache) {
+      if (spec.cache_pool != nullptr) {
+        cache_ptr = spec.cache_pool->For(ctx.aloi[d].points());
+      } else {
+        local_cache.emplace(ctx.aloi[d].points());
+        cache_ptr = &*local_cache;
+      }
+    }
+    clusterer->PrewarmCache(ctx.aloi[d], spec.grid, cache_ptr, spec.exec);
     for (int t = 0; t < ctx.options.trials; ++t) {
       TrialResult trial = RunTrial(ctx.aloi[d], *clusterer, spec,
                                    seed_rng.Fork(static_cast<uint64_t>(t))
                                        .seed(),
-                                   cache.has_value() ? &*cache : nullptr);
+                                   cache_ptr);
       if (!trial.ok) continue;
       internal.push_back(trial.internal_scores);
       external.push_back(trial.external_scores);
@@ -305,6 +322,41 @@ void RunCurveFigure(const PaperBenchContext& ctx, BenchAlgo algo,
       "   (paper reports ~0.94-0.99)\n",
       FormatDouble(best_corr).c_str(),
       FormatDouble(PearsonCorrelation(internal_mean, external_mean)).c_str());
+}
+
+void PrintStoreStats(const PaperBenchContext& ctx) {
+  if (ctx.cache_pool == nullptr) return;
+  const DatasetCache::Stats c = ctx.cache_pool->AggregateStats();
+  const ShardedLruCache::Stats m = ctx.cache_pool->memory().stats();
+  std::fprintf(
+      stderr,
+      "cache-stats: dist_builds=%llu dist_loads=%llu dist_hits=%llu "
+      "model_builds=%llu model_loads=%llu model_hits=%llu model_errors=%llu "
+      "lru_entries=%zu lru_charge=%zu lru_evictions=%llu\n",
+      static_cast<unsigned long long>(c.distance_builds),
+      static_cast<unsigned long long>(c.distance_loads),
+      static_cast<unsigned long long>(c.distance_hits),
+      static_cast<unsigned long long>(c.model_builds),
+      static_cast<unsigned long long>(c.model_loads),
+      static_cast<unsigned long long>(c.model_hits),
+      static_cast<unsigned long long>(c.model_errors), m.entries, m.charge,
+      static_cast<unsigned long long>(m.evictions));
+  if (ctx.store == nullptr) return;
+  const ArtifactStore::Stats s = ctx.store->stats();
+  std::fprintf(
+      stderr,
+      "store-stats: dir=%s disk_hits=%llu disk_misses=%llu "
+      "corrupt_misses=%llu version_misses=%llu writes=%llu "
+      "write_errors=%llu bytes_read=%llu bytes_written=%llu\n",
+      ctx.store->directory().c_str(),
+      static_cast<unsigned long long>(s.disk_hits),
+      static_cast<unsigned long long>(s.disk_misses),
+      static_cast<unsigned long long>(s.corrupt_misses),
+      static_cast<unsigned long long>(s.version_misses),
+      static_cast<unsigned long long>(s.writes),
+      static_cast<unsigned long long>(s.write_errors),
+      static_cast<unsigned long long>(s.bytes_read),
+      static_cast<unsigned long long>(s.bytes_written));
 }
 
 }  // namespace cvcp::bench

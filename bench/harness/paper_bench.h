@@ -7,10 +7,12 @@
 /// stand-ins) and printers that lay results out in the same row/column
 /// shape as the paper's Tables 1-16 and Figures 5-12.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/clusterer.h"
+#include "core/dataset_cache.h"
 #include "data/paper_suites.h"
 #include "harness/experiment.h"
 #include "harness/options.h"
@@ -36,6 +38,14 @@ struct PaperBenchContext {
   /// survives process restarts. Execution order only — results are
   /// identical with or without them.
   std::vector<CvCellTiming> prior_timings;
+  /// Persistent artifact tier (options.store_dir); null when no --store
+  /// directory was configured. Owned by the context so one store serves
+  /// every table/figure of the binary.
+  std::unique_ptr<ArtifactStore> store;
+  /// Run-wide compute-cache pool: one shared memory LRU
+  /// (options.store_capacity_mb) in front of `store`, shared by every
+  /// experiment, supervision level, and dataset the binary touches.
+  std::unique_ptr<DatasetCachePool> cache_pool;
 };
 
 /// Generates the context from the options (deterministic in options.seed).
@@ -73,6 +83,13 @@ void RunBoxplotFigure(const PaperBenchContext& ctx, BenchAlgo algo,
 void RunCurveFigure(const PaperBenchContext& ctx, BenchAlgo algo,
                     Scenario scenario, double level,
                     const std::string& caption);
+
+/// Prints the run's cache/store effectiveness counters to *stderr* — one
+/// `cache-stats:` line, plus a `store-stats:` line when a disk tier is
+/// configured — so stdout's table bytes stay identical across cache and
+/// store configurations. CI's warm-start smoke greps these lines to prove
+/// a warm store served every model (model_builds=0, disk_hits>0).
+void PrintStoreStats(const PaperBenchContext& ctx);
 
 }  // namespace cvcp::bench
 

@@ -145,6 +145,15 @@ double Distance(std::span<const double> a, std::span<const double> b,
   return 0.0;
 }
 
+DistanceMatrix DistanceMatrix::FromCondensed(size_t n,
+                                             std::vector<double> data) {
+  CVCP_CHECK_EQ(data.size(), n < 2 ? 0 : n * (n - 1) / 2);
+  DistanceMatrix dm;
+  dm.n_ = n;
+  dm.data_ = std::move(data);
+  return dm;
+}
+
 DistanceMatrix DistanceMatrix::Compute(const Matrix& points, Metric metric,
                                        const ExecutionContext& exec) {
   DistanceMatrix dm;

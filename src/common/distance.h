@@ -65,7 +65,15 @@ class DistanceMatrix {
   static DistanceMatrix Compute(const Matrix& points, Metric metric,
                                 const ExecutionContext& exec = {});
 
+  /// Rehydrates a matrix from condensed storage (the artifact store's
+  /// deserialization path). `data` must hold exactly n*(n-1)/2 entries.
+  static DistanceMatrix FromCondensed(size_t n, std::vector<double> data);
+
   size_t n() const { return n_; }
+
+  /// The raw condensed upper-triangular storage, in CondensedIndex order
+  /// (the artifact store's serialization path).
+  const std::vector<double>& condensed() const { return data_; }
 
   /// Distance between objects i and j (order-insensitive).
   double operator()(size_t i, size_t j) const {

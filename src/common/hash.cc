@@ -1,0 +1,61 @@
+#include "common/hash.h"
+
+#include <array>
+
+namespace cvcp {
+
+namespace {
+
+/// The 256-entry lookup table for reflected CRC-32/ISO-HDLC, generated at
+/// compile time so the table itself can never drift from the polynomial.
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace
+
+uint32_t Crc32(std::span<const std::byte> data, uint32_t seed) {
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    crc = (crc >> 8) ^
+          kCrc32Table[(crc ^ static_cast<uint32_t>(b)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  return Crc32(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), size),
+      seed);
+}
+
+uint64_t Hash64(std::span<const std::byte> data, uint64_t seed) {
+  uint64_t hash = seed;
+  for (std::byte b : data) {
+    hash ^= static_cast<uint64_t>(b);
+    hash *= 0x100000001b3ull;  // FNV-1a prime
+  }
+  return hash;
+}
+
+uint64_t Hash64(const void* data, size_t size, uint64_t seed) {
+  return Hash64(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), size),
+      seed);
+}
+
+uint64_t Hash64(std::string_view s, uint64_t seed) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+}  // namespace cvcp

@@ -1,0 +1,41 @@
+#ifndef CVCP_COMMON_HASH_H_
+#define CVCP_COMMON_HASH_H_
+
+/// \file
+/// The two hash functions of the storage substrate. `Crc32` guards every
+/// persisted block against corruption (flipped bits, truncation, torn
+/// writes); `Hash64` derives stable content keys (dataset content hash,
+/// cache-shard selection). Both are plain deterministic byte functions —
+/// the same input yields the same value on every run, process, and
+/// platform — which is what lets separate processes agree on artifact
+/// keys and validate each other's files.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace cvcp {
+
+/// CRC-32 (ISO-HDLC polynomial 0xEDB88320, the zlib/LevelDB family
+/// convention: init and final xor 0xFFFFFFFF). `seed` is a previous
+/// Crc32 result, so checksums can be computed incrementally over
+/// discontiguous spans: Crc32(b, Crc32(a)) == Crc32(ab).
+uint32_t Crc32(std::span<const std::byte> data, uint32_t seed = 0);
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// 64-bit FNV-1a over a byte span. Not cryptographic — used for content
+/// addressing (artifact keys) and shard striping, where determinism and
+/// dispersion matter, collisions are astronomically unlikely at the scale
+/// of a model-selection run, and speed beats strength. `seed` chains like
+/// Crc32's.
+inline constexpr uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ull;
+uint64_t Hash64(std::span<const std::byte> data,
+                uint64_t seed = kFnv64OffsetBasis);
+uint64_t Hash64(const void* data, size_t size,
+                uint64_t seed = kFnv64OffsetBasis);
+uint64_t Hash64(std::string_view s, uint64_t seed = kFnv64OffsetBasis);
+
+}  // namespace cvcp
+
+#endif  // CVCP_COMMON_HASH_H_

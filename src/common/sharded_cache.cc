@@ -1,0 +1,110 @@
+#include "common/sharded_cache.h"
+
+#include <bit>
+#include <utility>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace cvcp {
+
+ShardedLruCache::ShardedLruCache(size_t capacity_bytes, int num_shards)
+    : capacity_(capacity_bytes) {
+  CVCP_CHECK_GE(num_shards, 1);
+  const size_t shards =
+      std::bit_ceil(static_cast<size_t>(num_shards));
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Round up so tiny capacities don't truncate to a zero-byte shard that
+  // could never hold anything. Division-first (not `capacity_ + shards -
+  // 1`) so SIZE_MAX — the unbounded tier — cannot overflow to zero.
+  per_shard_capacity_ = capacity_ / shards + (capacity_ % shards != 0);
+}
+
+ShardedLruCache::Shard& ShardedLruCache::ShardFor(const std::string& key) {
+  // shards_.size() is a power of two, so the mask keeps the hash's low
+  // bits; FNV-1a mixes every byte into them.
+  return *shards_[Hash64(key) & (shards_.size() - 1)];
+}
+
+void ShardedLruCache::EvictIfNeeded(Shard* shard,
+                                    std::vector<ValuePtr>* graveyard) {
+  while (shard->charge > per_shard_capacity_ && !shard->lru.empty()) {
+    Entry& victim = shard->lru.back();
+    shard->charge -= victim.charge;
+    ++shard->evictions;
+    shard->index.erase(victim.key);
+    graveyard->push_back(std::move(victim.value));
+    shard->lru.pop_back();
+  }
+}
+
+ShardedLruCache::ValuePtr ShardedLruCache::InsertOrGet(const std::string& key,
+                                                       ValuePtr value,
+                                                       size_t charge) {
+  Shard& shard = ShardFor(key);
+  std::vector<ValuePtr> graveyard;
+  ValuePtr out;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // First publisher won; adopt the resident value (and refresh
+      // recency — a racing publish is also a use).
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      out = it->second->value;
+      graveyard.push_back(std::move(value));
+    } else {
+      shard.lru.push_front(Entry{key, value, charge});
+      shard.index.emplace(key, shard.lru.begin());
+      shard.charge += charge;
+      ++shard.inserts;
+      EvictIfNeeded(&shard, &graveyard);
+      out = std::move(value);
+    }
+  }
+  return out;
+}
+
+ShardedLruCache::ValuePtr ShardedLruCache::Lookup(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ShardedLruCache::Erase(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  ValuePtr doomed;  // destroyed after the lock
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return;
+  shard.charge -= it->second->charge;
+  doomed = std::move(it->second->value);
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+ShardedLruCache::Stats ShardedLruCache::stats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.inserts += shard->inserts;
+    out.evictions += shard->evictions;
+    out.charge += shard->charge;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+}  // namespace cvcp

@@ -1,0 +1,118 @@
+#ifndef CVCP_COMMON_SHARDED_CACHE_H_
+#define CVCP_COMMON_SHARDED_CACHE_H_
+
+/// \file
+/// A capacity-bounded, sharded LRU cache for arbitrary heap artifacts —
+/// the memory tier of the artifact store (LevelDB's `util/cache.cc`
+/// striping, with std::shared_ptr standing in for the manual handle
+/// refcounts). Keys stripe across N independently-locked shards by hash,
+/// so concurrent trial lanes touching different artifacts never contend
+/// on one mutex; each shard evicts least-recently-used entries once its
+/// slice of the capacity is exceeded.
+///
+/// Values are type-erased `std::shared_ptr<const void>` with an explicit
+/// *charge* (the artifact's approximate byte footprint) — the cache
+/// bounds the sum of charges, not the entry count, because a condensed
+/// distance matrix for n = 10⁴ costs ~400 MB while a small OPTICS model
+/// costs kilobytes. Eviction only drops the cache's reference: callers
+/// holding a shared_ptr keep using the artifact safely, and a later
+/// lookup simply misses and recomputes (deterministically identical
+/// values, so eviction is unobservable in results — the engine-wide
+/// contract).
+///
+/// Never blocks across a build: `InsertOrGet` is the publication
+/// primitive for the duplicate-on-race discipline (dataset_cache.h) —
+/// the first publisher's value wins and every racer adopts it.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cvcp {
+
+/// Thread-safe sharded LRU over string keys. All methods are safe to
+/// call concurrently; operations on different shards never contend.
+class ShardedLruCache {
+ public:
+  using ValuePtr = std::shared_ptr<const void>;
+
+  /// `capacity_bytes` bounds the sum of charges across all shards
+  /// (divided evenly; each shard enforces its slice). `num_shards` is
+  /// rounded up to a power of two, minimum 1.
+  explicit ShardedLruCache(size_t capacity_bytes, int num_shards = 16);
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Publishes `value` under `key` unless some racer got there first, in
+  /// which case the resident value is returned instead and `value` is
+  /// dropped (first publisher wins). A hit also refreshes recency. May
+  /// evict LRU entries of the same shard.
+  ValuePtr InsertOrGet(const std::string& key, ValuePtr value, size_t charge);
+
+  /// The resident value, refreshing its recency, or nullptr on a miss.
+  ValuePtr Lookup(const std::string& key);
+
+  /// Typed convenience over Lookup — the caller asserts the key's type
+  /// (keys embed the artifact kind, so a mismatch is a key-scheme bug).
+  template <typename T>
+  std::shared_ptr<const T> LookupAs(const std::string& key) {
+    return std::static_pointer_cast<const T>(Lookup(key));
+  }
+
+  /// Drops `key` if resident (outstanding shared_ptrs stay valid).
+  void Erase(const std::string& key);
+
+  /// Effectiveness and occupancy counters, aggregated over shards.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;    ///< successful first publications
+    uint64_t evictions = 0;  ///< entries dropped to respect capacity
+    size_t charge = 0;       ///< resident bytes (sum of charges)
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  size_t capacity_bytes() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Entry {
+    std::string key;
+    ValuePtr value;
+    size_t charge = 0;
+  };
+  /// One stripe: its own lock, recency list (front = most recent), and
+  /// key index into the list.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t charge = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  /// Drops LRU entries until the shard fits its capacity slice. Caller
+  /// holds the shard lock; evicted values are destroyed *after* the lock
+  /// is released (appended to `graveyard`) so a value's destructor can
+  /// never run under the shard mutex.
+  void EvictIfNeeded(Shard* shard, std::vector<ValuePtr>* graveyard);
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_COMMON_SHARDED_CACHE_H_

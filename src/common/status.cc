@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "InconsistentConstraints";
     case StatusCode::kInfeasible:
       return "Infeasible";
+    case StatusCode::kCorruption:
+      return "Corruption";
     case StatusCode::kInternal:
       return "Internal";
     case StatusCode::kUnimplemented:

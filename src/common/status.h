@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInconsistentConstraints,  ///< must-link and cannot-link contradict
   kInfeasible,               ///< no solution exists (e.g. COP-KMeans dead end)
+  kCorruption,               ///< stored bytes fail validation (CRC, framing)
   kInternal,
   kUnimplemented,
 };
@@ -58,6 +59,9 @@ class Status {
   }
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

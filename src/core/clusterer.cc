@@ -6,6 +6,25 @@
 
 namespace cvcp {
 
+void SemiSupervisedClusterer::PrewarmCache(const Dataset& data,
+                                           std::span<const int> param_grid,
+                                           DatasetCache* cache,
+                                           const ExecutionContext& exec) const {
+  (void)data;
+  (void)param_grid;
+  (void)cache;
+  (void)exec;
+}
+
+void FoscOpticsDendClusterer::PrewarmCache(const Dataset& data,
+                                           std::span<const int> param_grid,
+                                           DatasetCache* cache,
+                                           const ExecutionContext& exec) const {
+  (void)data;  // the cache already fronts the dataset's points
+  if (cache == nullptr) return;
+  cache->Prewarm(metric_, param_grid, exec);
+}
+
 Result<FoscOpticsModel> FoscOpticsDendClusterer::BuildModel(const Dataset& data,
                                                             int param) const {
   OpticsConfig optics_config;

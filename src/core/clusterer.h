@@ -16,6 +16,7 @@
 /// byte-identical with or without it.
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "cluster/clustering.h"
@@ -71,6 +72,18 @@ class SemiSupervisedClusterer {
   /// MPCKMeans).
   virtual bool IsCentroidBased() const { return false; }
 
+  /// Pre-builds (or pre-loads, when a disk tier is configured) every
+  /// supervision-independent artifact the grid sweep will need into
+  /// `cache`, so the grid×fold×trial fan-out that follows only ever
+  /// hits. Default: no-op — most algorithms have nothing cacheable.
+  /// No-op on a null cache. Per-param build errors are memoized in the
+  /// cache, not surfaced here; the sweep reports them per cell exactly as
+  /// a cold cache would.
+  virtual void PrewarmCache(const Dataset& data,
+                            std::span<const int> param_grid,
+                            DatasetCache* cache,
+                            const ExecutionContext& exec) const;
+
  protected:
   /// Implementation hook for Cluster. Implementations may ignore
   /// `context`; ones that use the cache must return byte-identical results
@@ -108,6 +121,12 @@ class FoscOpticsDendClusterer : public SemiSupervisedClusterer {
       const FoscOpticsModel& model, const Supervision& supervision) const;
 
   Metric metric() const { return metric_; }
+
+  /// Warms the cache's distance matrix and every grid model — the whole
+  /// supervision-independent phase — before the fan-out.
+  void PrewarmCache(const Dataset& data, std::span<const int> param_grid,
+                    DatasetCache* cache,
+                    const ExecutionContext& exec) const override;
 
  protected:
   Result<Clustering> DoCluster(const Dataset& data,

@@ -17,6 +17,18 @@
 ///     OPTICS once per grid value instead of once per (grid value, fold)
 ///     cell per trial.
 ///
+/// Tiers: the cache fronts up to three levels —
+///
+///   memory LRU (ShardedLruCache) → disk (ArtifactStore) → compute
+///
+/// The memory tier is a capacity-bounded sharded LRU keyed by dataset
+/// content hash, so one pool-level cache serves every dataset, trial, and
+/// supervision level of a bench run. The optional disk tier persists
+/// artifacts across processes: a warm store satisfies model requests with
+/// zero OPTICS rebuilds. Both tiers are optional — a bare
+/// `DatasetCache(points)` behaves like the original unbounded in-memory
+/// memo.
+///
 /// Concurrency model — never block, duplicate on race: a caller that
 /// finds its key missing builds the structure itself and the *first*
 /// publisher wins; racing losers throw their (bitwise-identical) copy
@@ -32,27 +44,33 @@
 ///
 /// Determinism contract: the cache returns the *same doubles* the
 /// uncached path computes — `DistanceMatrix::Compute` calls the same
-/// `Distance()` the on-the-fly scans call, and OPTICS over the matrix is
-/// the same algorithm over the same values — so every report, selection,
-/// and experiment table is byte-identical with the cache on or off
-/// (pinned by tests/cache_determinism_test.cc).
+/// `Distance()` the on-the-fly scans call, OPTICS over the matrix is
+/// the same algorithm over the same values, and a disk round trip
+/// preserves every IEEE-754 bit pattern (block_format.h) — so every
+/// report, selection, and experiment table is byte-identical with the
+/// cache on or off, cold or warm (pinned by
+/// tests/cache_determinism_test.cc and tests/store_determinism_test.cc).
 ///
-/// Lifetime: a cache instance borrows the points matrix; it must not
-/// outlive the dataset it was created for. All methods are thread-safe.
+/// Lifetime: a cache instance borrows the points matrix and the tier
+/// objects; it must not outlive any of them. All methods are thread-safe.
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
+#include <vector>
 
 #include "cluster/dendrogram.h"
 #include "cluster/optics.h"
 #include "common/distance.h"
 #include "common/matrix.h"
 #include "common/parallel.h"
+#include "common/sharded_cache.h"
 #include "common/status.h"
+#include "core/artifact_store.h"
 
 namespace cvcp {
 
@@ -66,68 +84,143 @@ struct FoscOpticsModel {
   Dendrogram dendrogram;
 };
 
+/// The storage tiers behind a DatasetCache, both optional and borrowed.
+/// Null `memory` gives the cache a private unbounded LRU (the original
+/// per-dataset memo semantics); null `store` disables persistence.
+struct DatasetCacheTiers {
+  ShardedLruCache* memory = nullptr;
+  ArtifactStore* store = nullptr;
+};
+
 /// Thread-safe, lazily-built cache of per-dataset structures. One
 /// instance per dataset; shared by reference across every fold, grid
 /// value, and trial that clusters that dataset.
 class DatasetCache {
  public:
-  /// Borrows `points` (no copy). The cache must not outlive it.
-  explicit DatasetCache(const Matrix& points) : points_(&points) {}
+  /// Borrows `points` (no copy) and the tier objects. The cache must not
+  /// outlive them. Hashes the dataset content once, up front — that hash
+  /// keys every artifact in both tiers.
+  explicit DatasetCache(const Matrix& points, DatasetCacheTiers tiers = {});
 
   DatasetCache(const DatasetCache&) = delete;
   DatasetCache& operator=(const DatasetCache&) = delete;
 
   const Matrix& points() const { return *points_; }
 
-  /// The condensed pairwise distance matrix under `metric`. The first
-  /// caller builds it with `DistanceMatrix::Compute` on `exec.threads`
-  /// workers; later callers share the published matrix (O(1) lookups
-  /// instead of O(d) distance evaluations). Racing first-touch callers
-  /// each build and the first publisher wins (see file comment). The
-  /// returned pointer keeps the matrix alive independent of the cache.
+  /// The dataset's content hash — the cross-process artifact key prefix.
+  uint64_t content_hash() const { return content_hash_; }
+
+  /// The condensed pairwise distance matrix under `metric`. Resolution
+  /// order: memory LRU, then disk store, then `DistanceMatrix::Compute`
+  /// on `exec.threads` workers (publishing to both tiers). Racing
+  /// first-touch callers each resolve independently and the first
+  /// publisher wins (see file comment). The returned pointer keeps the
+  /// matrix alive independent of the cache.
   std::shared_ptr<const DistanceMatrix> Distances(
       Metric metric, const ExecutionContext& exec);
 
   /// The memoized FOSC-OPTICSDend model for (metric, min_pts): OPTICS over
-  /// the cached distance matrix plus the dendrogram. Build errors (e.g.
-  /// min_pts out of range) are memoized too, so every caller sees exactly
-  /// the status the uncached path would return.
+  /// the cached distance matrix plus the dendrogram. The disk tier stores
+  /// only the OPTICS stage; the dendrogram is rebuilt deterministically on
+  /// load. Build errors (e.g. min_pts out of range) are memoized
+  /// per-dataset — never persisted — so every caller sees exactly the
+  /// status the uncached path would return.
   Result<std::shared_ptr<const FoscOpticsModel>> FoscModel(
       Metric metric, int min_pts, const ExecutionContext& exec);
 
+  /// Builds (or loads) the distance matrix and every grid model up front,
+  /// so the trial fan-out that follows only ever hits. Per-param build
+  /// errors are memoized exactly as a lazy first call would memoize them
+  /// and do not abort the warm-up.
+  void Prewarm(Metric metric, std::span<const int> min_pts_grid,
+               const ExecutionContext& exec);
+
   /// Cache effectiveness counters (for the bench_micro cache table). A
   /// "build" is a call that actually computed the structure — under a
-  /// first-touch race several callers may build the same key, so builds
-  /// can exceed the number of distinct keys; a "hit" is a call served
-  /// from the published memo. Build wall times are summed per stage
+  /// first-touch race several callers may resolve the same key, so builds
+  /// can exceed the number of distinct keys; a "load" resolved from the
+  /// disk tier; a "hit" was served from the memory tier (or the error
+  /// memo). `model_builds` counts only successful OPTICS builds; failed
+  /// ones count under `model_errors`. Wall times are summed per stage
   /// (every computed build counts, including racing duplicates).
   struct Stats {
     uint64_t distance_builds = 0;
+    uint64_t distance_loads = 0;
     uint64_t distance_hits = 0;
     uint64_t model_builds = 0;
+    uint64_t model_loads = 0;
     uint64_t model_hits = 0;
+    uint64_t model_errors = 0;
     double distance_build_ms = 0.0;
+    double distance_load_ms = 0.0;
     double model_build_ms = 0.0;
+    double model_load_ms = 0.0;
   };
   Stats stats() const;
 
  private:
-  using ModelResult = Result<std::shared_ptr<const FoscOpticsModel>>;
+  using ModelPtr = std::shared_ptr<const FoscOpticsModel>;
+
+  std::string DistanceKey(Metric metric) const;
+  std::string ModelKey(Metric metric, int min_pts) const;
 
   const Matrix* points_;
+  uint64_t content_hash_;
+  ShardedLruCache* memory_;  ///< points at `owned_memory_` when not shared
+  ArtifactStore* store_;
+  std::unique_ptr<ShardedLruCache> owned_memory_;
 
+  // Error memo: per-dataset, unbounded (a handful of bad params at most),
+  // deliberately outside the LRU so an eviction can never flip an errored
+  // key back to a rebuild with different stats.
   mutable std::mutex mu_;
-  std::map<Metric, std::shared_ptr<const DistanceMatrix>> distances_;
-  std::map<std::pair<int, int>, ModelResult> models_;
+  std::map<std::pair<int, int>, Status> model_errors_memo_;
 
-  // Stats counters; the build counters/times are only touched around a
-  // build and share `mu_`, the hot hit counters are atomic.
+  std::atomic<uint64_t> distance_builds_{0};
+  std::atomic<uint64_t> distance_loads_{0};
   std::atomic<uint64_t> distance_hits_{0};
+  std::atomic<uint64_t> model_builds_{0};
+  std::atomic<uint64_t> model_loads_{0};
   std::atomic<uint64_t> model_hits_{0};
-  uint64_t distance_builds_ = 0;
-  uint64_t model_builds_ = 0;
+  std::atomic<uint64_t> model_errors_{0};
+  // Wall-time accumulators share mu_ (only touched around builds/loads).
   double distance_build_ms_ = 0.0;
+  double distance_load_ms_ = 0.0;
   double model_build_ms_ = 0.0;
+  double model_load_ms_ = 0.0;
+};
+
+/// One memory tier + one optional disk tier shared by every dataset of a
+/// bench run: `For(points)` lazily creates the per-dataset front-end, so
+/// trials at different supervision levels — and different datasets of an
+/// ALOI collection — reuse each other's geometry up to the capacity
+/// bound. Borrows the datasets (keyed by matrix address): every Matrix
+/// passed to `For` must outlive the pool.
+class DatasetCachePool {
+ public:
+  /// `memory_capacity_bytes` bounds the shared LRU; `store` (borrowed,
+  /// may be null) enables the disk tier.
+  explicit DatasetCachePool(size_t memory_capacity_bytes,
+                            ArtifactStore* store = nullptr);
+
+  DatasetCachePool(const DatasetCachePool&) = delete;
+  DatasetCachePool& operator=(const DatasetCachePool&) = delete;
+
+  /// The cache fronting `points`, created on first use. Thread-safe;
+  /// stable for the pool's lifetime.
+  DatasetCache* For(const Matrix& points);
+
+  ArtifactStore* store() const { return store_; }
+  const ShardedLruCache& memory() const { return memory_; }
+
+  /// Sum of every per-dataset cache's counters.
+  DatasetCache::Stats AggregateStats() const;
+
+ private:
+  ShardedLruCache memory_;
+  ArtifactStore* store_;
+  mutable std::mutex mu_;
+  std::map<const Matrix*, std::unique_ptr<DatasetCache>> caches_;
 };
 
 }  // namespace cvcp

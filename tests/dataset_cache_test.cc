@@ -152,8 +152,65 @@ TEST(DatasetCacheTest, ErrorsMemoizedWithUncachedStatus) {
   EXPECT_FALSE(first.ok());
   EXPECT_EQ(first.status(), direct);
   EXPECT_EQ(second.status(), direct);
-  EXPECT_EQ(cache.stats().model_builds, 1u);
+  // Failed builds count as errors, not builds; the memoized status is
+  // served as a hit.
+  EXPECT_EQ(cache.stats().model_builds, 0u);
+  EXPECT_EQ(cache.stats().model_errors, 1u);
   EXPECT_EQ(cache.stats().model_hits, 1u);
+}
+
+TEST(DatasetCachePoolTest, SharesGeometryAcrossCacheFrontEnds) {
+  Matrix points = FixturePoints(20);
+  DatasetCachePool pool(/*memory_capacity_bytes=*/64 * 1024 * 1024);
+  DatasetCache* a = pool.For(points);
+  DatasetCache* b = pool.For(points);
+  EXPECT_EQ(a, b);  // same matrix address -> same front-end
+
+  const auto built = a->Distances(Metric::kEuclidean,
+                                  ExecutionContext::Serial());
+  const auto reused = b->Distances(Metric::kEuclidean,
+                                   ExecutionContext::Serial());
+  EXPECT_EQ(built.get(), reused.get());
+
+  // A bitwise-identical copy of the points is a *different* front-end but
+  // hashes to the same content key, so it reuses the resident artifact
+  // instead of rebuilding — the cross-supervision-level sharing the pool
+  // exists for.
+  Matrix copy = FixturePoints(20);
+  DatasetCache* c = pool.For(copy);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a->content_hash(), c->content_hash());
+  const auto shared = c->Distances(Metric::kEuclidean,
+                                   ExecutionContext::Serial());
+  EXPECT_EQ(shared.get(), built.get());
+
+  const DatasetCache::Stats stats = pool.AggregateStats();
+  EXPECT_EQ(stats.distance_builds, 1u);
+  EXPECT_EQ(stats.distance_hits, 2u);
+  EXPECT_EQ(pool.memory().stats().entries, 1u);
+}
+
+TEST(DatasetCachePoolTest, EvictionRecomputesDeterministically) {
+  Matrix points = FixturePoints(25);
+  // Capacity far below one condensed matrix: every insert evicts the
+  // previous resident, so each request recomputes — results must not
+  // change, only the counters.
+  DatasetCachePool pool(/*memory_capacity_bytes=*/1);
+  DatasetCache* cache = pool.For(points);
+  const auto first = cache->Distances(Metric::kEuclidean,
+                                      ExecutionContext::Serial());
+  const auto second = cache->Distances(Metric::kEuclidean,
+                                       ExecutionContext::Serial());
+  EXPECT_NE(first.get(), second.get());  // evicted between calls
+  ASSERT_EQ(first->n(), second->n());
+  for (size_t i = 0; i < first->n(); ++i) {
+    for (size_t j = 0; j < first->n(); ++j) {
+      EXPECT_EQ(std::bit_cast<uint64_t>((*first)(i, j)),
+                std::bit_cast<uint64_t>((*second)(i, j)));
+    }
+  }
+  EXPECT_EQ(pool.AggregateStats().distance_builds, 2u);
+  EXPECT_GE(pool.memory().stats().evictions, 1u);
 }
 
 TEST(DatasetCacheTest, ConcurrentRequestsConvergeOnOnePublishedObject) {

@@ -1,0 +1,128 @@
+// Unit tests for the sharded LRU cache: first-publisher-wins publication,
+// charge-based LRU eviction, stats accounting, and a concurrent hammer
+// (a TSan target). Values are plain ints behind shared_ptr<const void>.
+
+#include "common/sharded_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/strings.h"
+
+namespace cvcp {
+namespace {
+
+ShardedLruCache::ValuePtr Boxed(int v) {
+  return std::make_shared<const int>(v);
+}
+
+int Unbox(const ShardedLruCache::ValuePtr& p) {
+  return *static_cast<const int*>(p.get());
+}
+
+TEST(ShardedLruCacheTest, InsertOrGetFirstPublisherWins) {
+  ShardedLruCache cache(/*capacity_bytes=*/1024);
+  auto first = cache.InsertOrGet("k", Boxed(1), 8);
+  EXPECT_EQ(Unbox(first), 1);
+  // The racer's value is dropped; everyone adopts the resident one.
+  auto second = cache.InsertOrGet("k", Boxed(2), 8);
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(Unbox(second), 1);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ShardedLruCacheTest, LookupHitAndMiss) {
+  ShardedLruCache cache(1024);
+  EXPECT_EQ(cache.Lookup("absent"), nullptr);
+  cache.InsertOrGet("present", Boxed(7), 8);
+  auto hit = cache.LookupAs<int>("present");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 7);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsedByCharge) {
+  // One shard so the recency order is global and the capacity is exact.
+  ShardedLruCache cache(/*capacity_bytes=*/100, /*num_shards=*/1);
+  cache.InsertOrGet("a", Boxed(1), 40);
+  cache.InsertOrGet("b", Boxed(2), 40);
+  // Touch "a" so "b" is now least recently used.
+  ASSERT_NE(cache.Lookup("a"), nullptr);
+  // 40+40+40 > 100: inserting "c" must evict "b" (LRU), then stop.
+  cache.InsertOrGet("c", Boxed(3), 40);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.charge, 80u);
+}
+
+TEST(ShardedLruCacheTest, OversizedEntryEvictedButReturned) {
+  ShardedLruCache cache(/*capacity_bytes=*/10, /*num_shards=*/1);
+  // Charge exceeds the whole capacity: the value cannot stay resident,
+  // but the caller still gets it (the build is never wasted).
+  auto value = cache.InsertOrGet("big", Boxed(9), 1000);
+  EXPECT_EQ(Unbox(value), 9);
+  EXPECT_EQ(cache.Lookup("big"), nullptr);
+  EXPECT_EQ(cache.stats().charge, 0u);
+}
+
+TEST(ShardedLruCacheTest, UnboundedCapacityNeverEvicts) {
+  // SIZE_MAX capacity is the dataset cache's private-tier configuration;
+  // the per-shard slice must not overflow to zero.
+  ShardedLruCache cache(std::numeric_limits<size_t>::max(), 4);
+  for (int i = 0; i < 100; ++i) {
+    cache.InsertOrGet(Format("key-%d", i), Boxed(i), 1u << 20);
+  }
+  EXPECT_EQ(cache.stats().entries, 100u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  ASSERT_NE(cache.Lookup("key-37"), nullptr);
+}
+
+TEST(ShardedLruCacheTest, EraseDropsOnlyTheCacheReference) {
+  ShardedLruCache cache(1024);
+  auto held = cache.InsertOrGet("k", Boxed(5), 8);
+  cache.Erase("k");
+  EXPECT_EQ(cache.Lookup("k"), nullptr);
+  EXPECT_EQ(Unbox(held), 5);  // outstanding reference stays valid
+  cache.Erase("k");           // double-erase is a no-op
+}
+
+TEST(ShardedLruCacheTest, ConcurrentPublishersConvergePerKey) {
+  ShardedLruCache cache(/*capacity_bytes=*/1 << 20);
+  ExecutionContext exec;
+  exec.threads = 8;
+  constexpr int kKeys = 16;
+  constexpr size_t kCallers = 64;
+  std::vector<ShardedLruCache::ValuePtr> seen(kCallers);
+  ParallelFor(exec, kCallers, [&](size_t i) {
+    const int key_id = static_cast<int>(i) % kKeys;
+    const std::string key = Format("key-%d", key_id);
+    // Publish-or-adopt, then the resident value must unbox to the key id
+    // no matter which caller won.
+    seen[i] = cache.InsertOrGet(key, Boxed(key_id), 64);
+    ASSERT_EQ(Unbox(seen[i]), key_id);
+    auto hit = cache.Lookup(key);
+    ASSERT_NE(hit, nullptr);
+    ASSERT_EQ(Unbox(hit), key_id);
+  });
+  // Every caller of the same key holds the same published object.
+  for (size_t i = 0; i < kCallers; ++i) {
+    EXPECT_EQ(seen[i].get(), seen[i % kKeys].get());
+  }
+  EXPECT_EQ(cache.stats().entries, static_cast<size_t>(kKeys));
+  EXPECT_EQ(cache.stats().inserts, static_cast<uint64_t>(kKeys));
+}
+
+}  // namespace
+}  // namespace cvcp

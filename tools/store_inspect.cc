@@ -1,0 +1,75 @@
+// store_inspect: command-line inspector for an artifact store directory
+// (the --store DIR the benches write). Subcommands:
+//
+//   store_inspect ls DIR      list every artifact: kind, bytes, validity
+//   store_inspect verify DIR  same listing, but exit nonzero if any file
+//                             fails full frame validation (bad magic,
+//                             CRC mismatch, version skew, truncation)
+//   store_inspect purge DIR   delete every artifact and stale temp file
+//
+// `verify` is the offline counterpart of the store's read path: a file it
+// flags would be classified as a miss (and recomputed) by the next bench
+// run, never misread.
+
+#include <cstdio>
+#include <string>
+
+#include "core/artifact_store.h"
+
+namespace {
+
+using namespace cvcp;  // NOLINT
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s ls|verify|purge DIR\n"
+               "  ls      list every artifact with kind, bytes, validity\n"
+               "  verify  like ls, but exit 1 if any artifact is invalid\n"
+               "  purge   delete every artifact and stale temp file\n",
+               argv0);
+  return 2;
+}
+
+int RunList(ArtifactStore& store, bool fail_on_invalid) {
+  auto listed = store.List();
+  if (!listed.ok()) {
+    std::fprintf(stderr, "%s\n", listed.status().ToString().c_str());
+    return 1;
+  }
+  size_t invalid = 0;
+  uint64_t total_bytes = 0;
+  for (const ArtifactFileInfo& file : listed.value()) {
+    total_bytes += file.bytes;
+    if (!file.valid) ++invalid;
+    std::printf("%-9s %10llu  %-3s %s%s%s\n",
+                ArtifactKindName(static_cast<ArtifactKind>(file.kind)),
+                static_cast<unsigned long long>(file.bytes),
+                file.valid ? "ok" : "BAD", file.filename.c_str(),
+                file.valid ? "" : " -- ",
+                file.valid ? "" : file.detail.c_str());
+  }
+  std::printf("%zu artifacts, %llu bytes, %zu invalid\n",
+              listed.value().size(),
+              static_cast<unsigned long long>(total_bytes), invalid);
+  return fail_on_invalid && invalid > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return Usage(argv[0]);
+  const std::string command = argv[1];
+  ArtifactStore store(argv[2]);
+  if (command == "ls") return RunList(store, /*fail_on_invalid=*/false);
+  if (command == "verify") return RunList(store, /*fail_on_invalid=*/true);
+  if (command == "purge") {
+    auto purged = store.Purge();
+    if (!purged.ok()) {
+      std::fprintf(stderr, "%s\n", purged.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("purged %zu files from %s\n", purged.value(), argv[2]);
+    return 0;
+  }
+  return Usage(argv[0]);
+}
