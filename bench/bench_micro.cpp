@@ -2,17 +2,20 @@
 // closure, fold splitting, OPTICS, k-means, MPCKMeans iterations, FOSC
 // extraction, distance kernels and the constraint F-measure. These track
 // the cost model behind the paper-scale benches. Before the
-// google-benchmark suites run, main() prints four scaling tables for the
+// google-benchmark suites run, main() prints the scaling tables for the
 // parallel execution engine: CVCP serial-vs-parallel (with cost-model
 // cell ordering), the trial-level fan-out on a wide outer loop,
 // nested-width vs split-budget scheduling on the narrow-outer/wide-inner
 // scenario, and the per-dataset compute cache on the FOSC scenario
-// (cache-on vs cache-off with hit counts and per-stage wall time).
+// (cache-on vs cache-off with hit counts and per-stage wall time) —
+// plus the distance-matrix build table (kernel x tiling x storage, with
+// the >= 2x acceptance row) and the f32-vs-f64 CVCP selection-agreement
+// ablation, both mirrored into BENCH_distance.json.
 //
 // Unlike the paper benches, this binary takes google-benchmark flags; the
 // few engine options it supports (--threads N, --timings-file PATH,
-// --cache-table-only, --store DIR, --json PATH) are stripped from argv
-// before benchmark::Initialize. --timings-file makes the CVCP scaling
+// --cache-table-only, --store DIR, --json PATH, --distance-json PATH)
+// are stripped from argv before benchmark::Initialize. --timings-file makes the CVCP scaling
 // table save its measured cell timings and, when the file already exists,
 // drives the "file timings" cost-model row from it — the measured
 // schedule persisting across process restarts. --store DIR adds
@@ -25,8 +28,11 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <functional>
+#include <limits>
 #include <optional>
 #include <string>
 #include <thread>
@@ -41,6 +47,7 @@
 #include "cluster/mpckmeans.h"
 #include "cluster/optics.h"
 #include "common/distance.h"
+#include "common/distance_kernels.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "constraints/folds.h"
@@ -76,6 +83,37 @@ bool g_determinism_ok = true;
 std::vector<std::string> g_json_rows;
 
 void AddJsonRow(std::string row) { g_json_rows.push_back(std::move(row)); }
+
+// Rows of the distance-build and f32-ablation tables, mirrored into the
+// standalone BENCH_distance.json (--distance-json PATH) on top of the
+// regular BENCH_micro.json rows.
+std::vector<std::string> g_distance_rows;
+
+void AddDistanceRow(const std::string& row) {
+  g_distance_rows.push_back(row);
+  g_json_rows.push_back(row);
+}
+
+void WriteDistanceJsonReport(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write JSON report %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(file,
+               "{\n  \"bench\": \"bench_micro/distance\",\n"
+               "  \"arch\": \"%s\",\n"
+               "  \"determinism_ok\": %s,\n  \"rows\": [\n",
+               DistanceKernelArch(), g_determinism_ok ? "true" : "false");
+  for (size_t i = 0; i < g_distance_rows.size(); ++i) {
+    std::fprintf(file, "    %s%s\n", g_distance_rows[i].c_str(),
+                 i + 1 < g_distance_rows.size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+  std::fclose(file);
+  std::printf("wrote %zu JSON rows to %s\n", g_distance_rows.size(),
+              path.c_str());
+}
 
 void WriteJsonReport(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "w");
@@ -189,13 +227,18 @@ void BM_MpckMeans(benchmark::State& state) {
 }
 BENCHMARK(BM_MpckMeans)->Arg(25)->Arg(50)->Arg(100);
 
-// Scalar vs 4-accumulator-unrolled distance kernel (Arg: 0 = scalar,
-// 1 = unrolled). The unrolled kernel reassociates the sum, so it is
-// opt-in (--distance-kernel unrolled in the paper benches) and never the
-// default; this benchmark quantifies what the bitwise contract costs.
+// Distance-kernel policies head to head (Arg0: 0 = scalar-legacy,
+// 1 = fixed-lane (SIMD-dispatched default), 2 = unrolled; Arg1: dims).
+// The policy rides in as an explicit argument — no process-wide state is
+// touched, exactly as the engine threads it through ExecutionContext.
 void BM_SquaredEuclideanKernel(benchmark::State& state) {
-  const bool previous = UnrolledDistanceKernelsEnabled();
-  SetUnrolledDistanceKernels(state.range(0) != 0);
+  static constexpr DistanceKernelPolicy kPolicies[] = {
+      DistanceKernelPolicy::kScalarLegacy,
+      DistanceKernelPolicy::kFixedLane,
+      DistanceKernelPolicy::kUnrolled,
+  };
+  const DistanceKernelPolicy policy =
+      kPolicies[static_cast<size_t>(state.range(0))];
   Rng rng(41);
   std::vector<double> a(static_cast<size_t>(state.range(1)));
   std::vector<double> b(a.size());
@@ -204,17 +247,18 @@ void BM_SquaredEuclideanKernel(benchmark::State& state) {
     b[i] = rng.NextDouble();
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(SquaredEuclideanDistance(a, b));
+    benchmark::DoNotOptimize(SquaredEuclideanDistance(a, b, policy));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(a.size()));
-  SetUnrolledDistanceKernels(previous);
 }
 BENCHMARK(BM_SquaredEuclideanKernel)
     ->Args({0, 16})
     ->Args({1, 16})
+    ->Args({2, 16})
     ->Args({0, 128})
-    ->Args({1, 128});
+    ->Args({1, 128})
+    ->Args({2, 128});
 
 void BM_ConstraintFMeasure(benchmark::State& state) {
   Dataset data = BenchData(static_cast<size_t>(state.range(0)), 5, 8);
@@ -661,6 +705,204 @@ void PrintNestedVsSplitTable() {
   std::printf("\n");
 }
 
+// Distance-matrix build across the kernel × tiling × storage space on a
+// 64-dimensional blob set. The untiled scalar-legacy row is the pre-SIMD
+// baseline; the tiled fixed-lane row is today's default configuration and
+// its speedup column is the headline number (the CI acceptance bar is
+// >= 2x on this >= 32-dim dataset). Value checks ride along: the tiled
+// build must reproduce the untiled build bit for bit *per kernel policy*
+// and for any thread count, and the f32 row must hold exactly
+// float(f64_value) in every slot. Any check failure flips the process
+// exit code via g_determinism_ok, like the other tables.
+void PrintDistanceKernelTable() {
+  Rng rng(53);
+  Dataset data = MakeBlobs("kernel-bench", /*k=*/8, /*per_cluster=*/64,
+                           /*dims=*/64, 10.0, 1.0, &rng);
+  const Matrix& pts = data.points();
+  const Metric metric = Metric::kEuclidean;
+
+  ExecutionContext legacy = ExecutionContext::Serial();
+  legacy.distance_kernel = DistanceKernelPolicy::kScalarLegacy;
+  ExecutionContext fixed = ExecutionContext::Serial();
+  fixed.distance_kernel = DistanceKernelPolicy::kFixedLane;
+
+  std::printf(
+      "=== Distance-matrix build: kernel x tiling x storage "
+      "(n=%zu, d=%zu, euclidean, arch=%s) ===\n",
+      pts.rows(), pts.cols(), DistanceKernelArch());
+  std::printf("%-24s %10s %9s  %s\n", "configuration", "wall_ms", "speedup",
+              "values");
+
+  // Best-of-5 wall time; the first build is kept for the value checks.
+  auto time_best = [&](const std::function<DistanceMatrix()>& build,
+                       std::optional<DistanceMatrix>* out) {
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      DistanceMatrix m = build();
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      best = std::min(best, ms);
+      if (rep == 0) *out = std::move(m);
+    }
+    return best;
+  };
+  auto same_f64 = [](const DistanceMatrix& a, const DistanceMatrix& b) {
+    const std::vector<double>& x = a.condensed();
+    const std::vector<double>& y = b.condensed();
+    if (x.size() != y.size()) return false;
+    for (size_t i = 0; i < x.size(); ++i) {
+      if (!BitsEqual(x[i], y[i])) return false;
+    }
+    return true;
+  };
+
+  std::optional<DistanceMatrix> untiled_legacy, untiled_fixed, tiled_legacy,
+      tiled_fixed, tiled_fixed_t8, tiled_f32;
+  const double ms_untiled_legacy = time_best(
+      [&] { return DistanceMatrix::ComputeUntiled(pts, metric, legacy); },
+      &untiled_legacy);
+  const double ms_untiled_fixed = time_best(
+      [&] { return DistanceMatrix::ComputeUntiled(pts, metric, fixed); },
+      &untiled_fixed);
+  const double ms_tiled_legacy = time_best(
+      [&] { return DistanceMatrix::Compute(pts, metric, legacy); },
+      &tiled_legacy);
+  const double ms_tiled_fixed = time_best(
+      [&] { return DistanceMatrix::Compute(pts, metric, fixed); },
+      &tiled_fixed);
+  ExecutionContext fixed8 = fixed;
+  fixed8.threads = 8;
+  const double ms_tiled_fixed_t8 = time_best(
+      [&] { return DistanceMatrix::Compute(pts, metric, fixed8); },
+      &tiled_fixed_t8);
+  const double ms_tiled_f32 = time_best(
+      [&] {
+        return DistanceMatrix::Compute(pts, metric, fixed,
+                                       DistanceStorage::kF32);
+      },
+      &tiled_f32);
+
+  const bool tiled_legacy_ok = same_f64(*tiled_legacy, *untiled_legacy);
+  const bool tiled_fixed_ok = same_f64(*tiled_fixed, *untiled_fixed);
+  const bool threads_ok = same_f64(*tiled_fixed_t8, *tiled_fixed);
+  bool f32_ok =
+      tiled_f32->condensed32().size() == tiled_fixed->condensed().size();
+  for (size_t i = 0; f32_ok && i < tiled_f32->condensed32().size(); ++i) {
+    f32_ok = std::bit_cast<uint32_t>(tiled_f32->condensed32()[i]) ==
+             std::bit_cast<uint32_t>(
+                 static_cast<float>(tiled_fixed->condensed()[i]));
+  }
+  if (!tiled_legacy_ok || !tiled_fixed_ok || !threads_ok || !f32_ok) {
+    g_determinism_ok = false;
+  }
+
+  auto emit = [&](const char* label, const char* kernel, bool tiled,
+                  const char* storage, int threads, double ms,
+                  const char* values, bool values_ok) {
+    const double speedup = ms_untiled_legacy / ms;
+    std::printf("%-24s %10.2f %8.2fx  %s\n", label, ms, speedup, values);
+    AddDistanceRow(Format(
+        "{\"table\": \"distance_build\", \"config\": \"%s\", "
+        "\"kernel\": \"%s\", \"tiled\": %s, \"storage\": \"%s\", "
+        "\"threads\": %d, \"n\": %zu, \"dims\": %zu, \"wall_ms\": %.4f, "
+        "\"speedup\": %.3f, \"values_ok\": %s}",
+        label, kernel, tiled ? "true" : "false", storage, threads,
+        pts.rows(), pts.cols(), ms, speedup, values_ok ? "true" : "false"));
+  };
+  emit("untiled-scalar-legacy", "scalar-legacy", false, "f64", 1,
+       ms_untiled_legacy, "(baseline)", true);
+  emit("untiled-fixed-lane", "fixed-lane", false, "f64", 1, ms_untiled_fixed,
+       "(fixed-lane reference)", true);
+  emit("tiled-scalar-legacy", "scalar-legacy", true, "f64", 1,
+       ms_tiled_legacy,
+       tiled_legacy_ok ? "bitwise == untiled-scalar-legacy"
+                       : "NO — TILING CHANGED VALUES",
+       tiled_legacy_ok);
+  emit("tiled-fixed-lane", "fixed-lane", true, "f64", 1, ms_tiled_fixed,
+       tiled_fixed_ok ? "bitwise == untiled-fixed-lane"
+                      : "NO — TILING CHANGED VALUES",
+       tiled_fixed_ok);
+  emit("tiled-fixed-lane", "fixed-lane", true, "f64", 8, ms_tiled_fixed_t8,
+       threads_ok ? "bitwise == 1-thread build"
+                  : "NO — THREAD COUNT CHANGED VALUES",
+       threads_ok);
+  emit("tiled-fixed-lane-f32", "fixed-lane", true, "f32", 1, ms_tiled_f32,
+       f32_ok ? "== float(f64 values) exactly"
+              : "NO — F32 NARROWING MISMATCH",
+       f32_ok);
+  const double headline = ms_untiled_legacy / ms_tiled_fixed;
+  std::printf("default (tiled fixed-lane) vs scalar-legacy baseline: "
+              "%.2fx %s\n\n",
+              headline, headline >= 2.0 ? "(meets the 2x bar)"
+                                        : "(below the 2x bar)");
+}
+
+// Does float32 distance storage change what CVCP *selects*? Runs the
+// FOSC-OPTICSDend sweep (the algorithm whose entire pipeline sits on the
+// cached matrix) on several blob datasets, once with an f64-storage cache
+// and once with f32, and reports selection agreement plus the largest
+// best-score drift. Informational: rounding-induced drift here is
+// expected and bounded, not a determinism bug — within a storage mode
+// results stay bitwise-reproducible.
+void PrintStorageAblationTable() {
+  FoscOpticsDendClusterer clusterer;
+  CvcpConfig config;
+  config.cv.n_folds = 5;
+  config.param_grid = {3, 4, 5, 6, 7, 8};
+  constexpr int kDatasets = 5;
+
+  std::printf(
+      "=== f32 vs f64 distance storage: CVCP selection agreement "
+      "(FOSC-OPTICSDend, %d-fold x %zu-value MinPts grid, %d datasets) "
+      "===\n",
+      config.cv.n_folds, config.param_grid.size(), kDatasets);
+  std::printf("%-10s %10s %10s %8s %14s\n", "dataset", "pick(f64)",
+              "pick(f32)", "agree", "|score drift|");
+
+  int agreements = 0;
+  double max_drift = 0.0;
+  for (int d = 0; d < kDatasets; ++d) {
+    Rng rng(100 + d);
+    Dataset data = MakeBlobs(Format("abl%d", d), /*k=*/4, /*per_cluster=*/30,
+                             /*dims=*/16, 10.0, 1.0, &rng);
+    auto pool = BuildConstraintPool(data, 0.25, &rng);
+    CVCP_CHECK(pool.ok());
+    auto sampled = SampleConstraints(pool.value(), 0.5, &rng);
+    CVCP_CHECK(sampled.ok());
+    Supervision supervision =
+        Supervision::FromConstraints(std::move(sampled).value());
+    int best[2] = {0, 0};
+    double score[2] = {0.0, 0.0};
+    for (int s = 0; s < 2; ++s) {
+      DatasetCache cache(
+          data.points(),
+          DatasetCacheTiers{nullptr, nullptr,
+                            s == 0 ? DistanceStorage::kF64
+                                   : DistanceStorage::kF32});
+      Rng run_rng(71);
+      auto report = RunCvcp(data, supervision, clusterer, config, &run_rng,
+                            &cache);
+      CVCP_CHECK(report.ok());
+      best[s] = report->best_param;
+      score[s] = report->best_score;
+    }
+    const bool agree = best[0] == best[1];
+    agreements += agree ? 1 : 0;
+    const double drift = std::abs(score[0] - score[1]);
+    max_drift = std::max(max_drift, drift);
+    std::printf("%-10d %10d %10d %8s %14.3e\n", d, best[0], best[1],
+                agree ? "yes" : "no", drift);
+  }
+  std::printf("selection agreement: %d/%d, max |best-score drift| %.3e\n\n",
+              agreements, kDatasets, max_drift);
+  AddDistanceRow(Format(
+      "{\"table\": \"f32_ablation\", \"datasets\": %d, \"agreements\": %d, "
+      "\"max_best_score_drift\": %.6e}",
+      kDatasets, agreements, max_drift));
+}
+
 // This binary's own flags, stripped from argv before google-benchmark
 // sees the rest.
 struct MicroOptions {
@@ -669,6 +911,10 @@ struct MicroOptions {
   bool cache_table_only = false;  // print the cache table and exit (CI smoke)
   std::string store_dir;  // artifact store dir: store-cold/warm rows + timings
   std::string json_path = "BENCH_micro.json";  // "" (via --json '') disables
+  // Standalone report for the distance-build + f32-ablation rows
+  // (--distance-json PATH; '' disables). Skipped in --cache-table-only
+  // mode, which doesn't run those tables.
+  std::string distance_json_path = "BENCH_distance.json";
 };
 
 MicroOptions StripMicroOptions(int* argc, char** argv) {
@@ -685,6 +931,8 @@ MicroOptions StripMicroOptions(int* argc, char** argv) {
       o.store_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
       o.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--distance-json") == 0 && i + 1 < *argc) {
+      o.distance_json_path = argv[++i];
     } else {
       argv[out++] = argv[i];
     }
@@ -709,11 +957,16 @@ int main(int argc, char** argv) {
     benchmark::Shutdown();
     return g_determinism_ok ? 0 : 1;
   }
+  PrintDistanceKernelTable();
+  PrintStorageAblationTable();
   PrintCvcpScalingTable(options.timings_file, options.store_dir);
   PrintTrialScalingTable();
   PrintNestedVsSplitTable();
   PrintFoscCacheTable(table_threads, options.store_dir);
   if (!options.json_path.empty()) WriteJsonReport(options.json_path);
+  if (!options.distance_json_path.empty()) {
+    WriteDistanceJsonReport(options.distance_json_path);
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   // Nonzero on any "NO — DETERMINISM BUG" row so the CI smoke steps fail

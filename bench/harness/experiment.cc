@@ -175,7 +175,9 @@ TrialResult RunTrial(const Dataset& data,
               ? SilhouetteCoefficient(
                     *cache->Distances(Metric::kEuclidean, spec.exec),
                     clustering.value())
-              : SilhouetteCoefficient(data.points(), clustering.value());
+              : SilhouetteCoefficient(data.points(), clustering.value(),
+                                      Metric::kEuclidean,
+                                      spec.exec.distance_kernel);
     }
   });
   for (const Status& status : sweep_errors) {
@@ -254,7 +256,9 @@ CellAggregate RunExperiment(const Dataset& data,
     if (spec.cache_pool != nullptr) {
       cache_ptr = spec.cache_pool->For(data.points());
     } else {
-      cache.emplace(data.points());
+      cache.emplace(data.points(),
+                    DatasetCacheTiers{nullptr, nullptr,
+                                      spec.distance_storage});
       cache_ptr = &*cache;
     }
   }

@@ -52,8 +52,15 @@ struct TrialSpec {
   bool with_silhouette = false;
   /// Total thread budget, shared by every nesting level (ALOI datasets >
   /// trials > CVCP grid×fold cells / full-supervision sweep); any thread
-  /// count yields identical results.
+  /// count yields identical results. Also carries the distance-kernel
+  /// policy every stage of the trial uses.
   ExecutionContext exec;
+  /// Condensed distance-matrix storage for the caches this experiment
+  /// creates (a run-wide `cache_pool` brings its own mode and ignores
+  /// this). kF32 halves the matrix bytes but rounds each stored distance
+  /// once, so downstream scores may differ in the last ulps — the f32
+  /// ablation in bench_micro measures whether CVCP's *selections* move.
+  DistanceStorage distance_storage = DistanceStorage::kF64;
   /// Outer-lane width for the experiment loops (trials in RunExperiment,
   /// datasets in RunAloiExperiment): 0 = automatic (policy decides),
   /// 1 = serial outer loops (the whole budget goes to the CVCP cells, the

@@ -35,12 +35,18 @@ bool ParseOnOff(const char* v, bool fallback) {
   return fallback;
 }
 
-/// "unrolled" → true, "scalar" → false; anything else keeps `fallback`.
-bool ParseDistanceKernel(const char* v, bool fallback) {
-  if (v == nullptr) return fallback;
-  if (std::strcmp(v, "unrolled") == 0) return true;
-  if (std::strcmp(v, "scalar") == 0) return false;
-  return fallback;
+/// Policy / storage spellings via the library parsers; anything
+/// unrecognized keeps `fallback`.
+DistanceKernelPolicy ParseKernel(const char* v, DistanceKernelPolicy fallback) {
+  DistanceKernelPolicy out = fallback;
+  if (v != nullptr) ParseDistanceKernelPolicy(v, &out);
+  return out;
+}
+
+DistanceStorage ParseStorage(const char* v, DistanceStorage fallback) {
+  DistanceStorage out = fallback;
+  if (v != nullptr) ParseDistanceStorage(v, &out);
+  return out;
 }
 
 }  // namespace
@@ -67,8 +73,10 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   }
   o.store_capacity_mb = static_cast<int>(
       EnvLong("CVCP_STORE_CAPACITY_MB", o.store_capacity_mb));
-  o.unrolled_distance = ParseDistanceKernel(std::getenv("CVCP_DISTANCE_KERNEL"),
-                                            o.unrolled_distance);
+  o.distance_kernel =
+      ParseKernel(std::getenv("CVCP_DISTANCE_KERNEL"), o.distance_kernel);
+  o.distance_storage =
+      ParseStorage(std::getenv("CVCP_DISTANCE_STORAGE"), o.distance_storage);
   for (int i = 1; i < argc; ++i) {
     auto next_long = [&](long fallback) {
       return i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : fallback;
@@ -101,10 +109,11 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--store-capacity-mb") == 0) {
       o.store_capacity_mb = static_cast<int>(next_long(o.store_capacity_mb));
     } else if (std::strcmp(argv[i], "--distance-kernel") == 0) {
-      if (i + 1 < argc) {
-        o.unrolled_distance =
-            ParseDistanceKernel(argv[++i], o.unrolled_distance);
-      }
+      if (i + 1 < argc) o.distance_kernel = ParseKernel(argv[++i],
+                                                        o.distance_kernel);
+    } else if (std::strcmp(argv[i], "--distance-storage") == 0) {
+      if (i + 1 < argc) o.distance_storage = ParseStorage(argv[++i],
+                                                          o.distance_storage);
     }
   }
   if (o.trials < 2) o.trials = 2;  // paired t-test needs >= 2
@@ -113,9 +122,13 @@ BenchOptions ParseBenchOptions(int argc, char** argv) {
   if (o.threads < 0) o.threads = 0;  // 0 = all hardware threads
   if (o.trial_threads < 0) o.trial_threads = 0;  // 0 = automatic split
   if (o.store_capacity_mb < 1) o.store_capacity_mb = 1;
-  // The kernel choice is process-wide state, not per-run config: apply it
-  // here so every bench picks it up with zero per-binary wiring.
-  SetUnrolledDistanceKernels(o.unrolled_distance);
+  if (o.distance_kernel == DistanceKernelPolicy::kDefault) {
+    o.distance_kernel = DefaultDistanceKernelPolicy();
+  }
+  // The per-context policy (threaded through TrialSpec/ExecutionContext)
+  // is the real config; aligning the process default with it makes any
+  // stray kDefault resolution in library helpers agree with the run.
+  SetDefaultDistanceKernelPolicy(o.distance_kernel);
   return o;
 }
 
@@ -143,10 +156,13 @@ void PrintBanner(const BenchOptions& options, const std::string& title,
       options.nesting == NestingPolicy::kNested ? "nested" : "split";
   std::printf(
       "scale: %d trials, %zu ALOI sets, %d-fold CV, seed %llu, %s, %s, "
-      "%s scheduler, cache %s (--paper for full scale)\n\n",
+      "%s scheduler, cache %s, %s kernels, %s distances "
+      "(--paper for full scale)\n\n",
       options.trials, options.aloi_datasets, options.n_folds,
       static_cast<unsigned long long>(options.seed), threads, lanes,
-      scheduler, options.cache ? "on" : "off");
+      scheduler, options.cache ? "on" : "off",
+      DistanceKernelPolicyName(options.distance_kernel),
+      DistanceStorageName(options.distance_storage));
 }
 
 Result<std::vector<CvCellTiming>> LoadCellTimings(const std::string& path) {

@@ -28,6 +28,8 @@ TrialSpec SpecFor(const PaperBenchContext& ctx, BenchAlgo algo,
   spec.grid = GridFor(algo, num_classes);
   spec.with_silhouette = algo != BenchAlgo::kFosc;
   spec.exec.threads = ctx.options.threads;
+  spec.exec.distance_kernel = ctx.options.distance_kernel;
+  spec.distance_storage = ctx.options.distance_storage;
   spec.trial_threads = ctx.options.trial_threads;
   spec.nesting = ctx.options.nesting;
   spec.use_cache = ctx.options.cache;
@@ -65,7 +67,7 @@ PaperBenchContext MakeContext(const BenchOptions& options) {
   }
   ctx.cache_pool = std::make_unique<DatasetCachePool>(
       static_cast<size_t>(options.store_capacity_mb) * 1024 * 1024,
-      ctx.store.get());
+      ctx.store.get(), options.distance_storage);
   return ctx;
 }
 

@@ -88,7 +88,8 @@ class MpckState {
 
   double WeightedDist(std::span<const double> a, std::span<const double> b,
                       size_t cluster) const {
-    return WeightedSquaredEuclidean(a, b, weights_.Row(cluster));
+    return WeightedSquaredEuclidean(a, b, weights_.Row(cluster),
+                                    config_.kernel);
   }
 
   /// Cannot-link penalty scale for a cluster: metric-weighted squared
@@ -313,6 +314,7 @@ class MpckState {
 /// Neighborhood-based initialization: centroids of the lambda largest
 /// must-link neighborhoods, topped up by D^2-weighted sampling.
 Result<Matrix> NeighborhoodInit(const Matrix& points,
+                                DistanceKernelPolicy kernel,
                                 const ConstraintSet& constraints, int k,
                                 Rng* rng) {
   CVCP_ASSIGN_OR_RETURN(ConstraintComponents comps,
@@ -344,7 +346,7 @@ Result<Matrix> NeighborhoodInit(const Matrix& points,
       for (size_t h = 0; h < filled; ++h) {
         min_d2[i] = std::min(
             min_d2[i], SquaredEuclideanDistance(points.Row(i),
-                                                centroids.Row(h)));
+                                                centroids.Row(h), kernel));
       }
     }
     while (filled < uk) {
@@ -366,8 +368,10 @@ Result<Matrix> NeighborhoodInit(const Matrix& points,
       }
       centroids.SetRow(filled, points.Row(chosen));
       for (size_t i = 0; i < n; ++i) {
-        min_d2[i] = std::min(min_d2[i], SquaredEuclideanDistance(
-                                            points.Row(i), points.Row(chosen)));
+        min_d2[i] =
+            std::min(min_d2[i],
+                     SquaredEuclideanDistance(points.Row(i),
+                                              points.Row(chosen), kernel));
       }
       ++filled;
     }
@@ -402,10 +406,12 @@ Result<MpckMeansResult> RunMpckMeans(const Matrix& points,
   MpckState state(points, constraints, config);
   if (config.neighborhood_init) {
     CVCP_ASSIGN_OR_RETURN(Matrix init,
-                          NeighborhoodInit(points, constraints, config.k, rng));
+                          NeighborhoodInit(points, config.kernel, constraints,
+                                           config.k, rng));
     state.SetCentroids(std::move(init));
   } else {
-    state.SetCentroids(KMeansPlusPlusInit(points, config.k, rng));
+    state.SetCentroids(KMeansPlusPlusInit(points, config.k, rng,
+                                          config.kernel));
   }
 
   double prev_obj = std::numeric_limits<double>::infinity();

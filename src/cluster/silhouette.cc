@@ -86,10 +86,11 @@ double SilhouetteImpl(size_t n, const Clustering& clustering, DistFn&& dist) {
 }  // namespace
 
 double SilhouetteCoefficient(const Matrix& points,
-                             const Clustering& clustering, Metric metric) {
+                             const Clustering& clustering, Metric metric,
+                             DistanceKernelPolicy kernel) {
   CVCP_CHECK_EQ(points.rows(), clustering.size());
   return SilhouetteImpl(points.rows(), clustering, [&](size_t i, size_t j) {
-    return Distance(points.Row(i), points.Row(j), metric);
+    return Distance(points.Row(i), points.Row(j), metric, kernel);
   });
 }
 
@@ -101,7 +102,8 @@ double SilhouetteCoefficient(const DistanceMatrix& distances,
 }
 
 double SimplifiedSilhouette(const Matrix& points,
-                            const Clustering& clustering) {
+                            const Clustering& clustering,
+                            DistanceKernelPolicy kernel) {
   CVCP_CHECK_EQ(points.rows(), clustering.size());
   const std::vector<std::vector<size_t>> groups = clustering.Groups();
   if (groups.size() < 2) return kNaN;
@@ -125,7 +127,8 @@ double SimplifiedSilhouette(const Matrix& points,
     double a = 0.0;
     double b = std::numeric_limits<double>::infinity();
     for (size_t g = 0; g < groups.size(); ++g) {
-      const double d = EuclideanDistance(points.Row(i), centroids.Row(g));
+      const double d = EuclideanDistance(points.Row(i), centroids.Row(g),
+                                         kernel);
       if (static_cast<int>(g) == gi) {
         a = d;
       } else {

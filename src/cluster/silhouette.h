@@ -19,7 +19,9 @@ namespace cvcp {
 ///  * returns NaN when fewer than 2 clusters have members (silhouette
 ///    undefined), which makes a k=1 candidate never win model selection.
 double SilhouetteCoefficient(const Matrix& points, const Clustering& clustering,
-                             Metric metric = Metric::kEuclidean);
+                             Metric metric = Metric::kEuclidean,
+                             DistanceKernelPolicy kernel =
+                                 DistanceKernelPolicy::kDefault);
 
 /// Same, against a precomputed distance matrix.
 double SilhouetteCoefficient(const DistanceMatrix& distances,
@@ -27,7 +29,9 @@ double SilhouetteCoefficient(const DistanceMatrix& distances,
 
 /// Simplified silhouette: distances to cluster centroids instead of mean
 /// pairwise distances. O(n k d).
-double SimplifiedSilhouette(const Matrix& points, const Clustering& clustering);
+double SimplifiedSilhouette(const Matrix& points, const Clustering& clustering,
+                            DistanceKernelPolicy kernel =
+                                DistanceKernelPolicy::kDefault);
 
 }  // namespace cvcp
 

@@ -4,12 +4,19 @@
 /// \file
 /// Distance metrics and a condensed pairwise distance matrix. Weighted
 /// squared Euclidean (diagonal Mahalanobis) is the form MPCKMeans learns.
+///
+/// Every entry point takes an optional `DistanceKernelPolicy`
+/// (common/kernel_policy.h) selecting the inner-loop implementation;
+/// `kDefault` resolves to the process default (fixed-lane SIMD unless
+/// `CVCP_DISTANCE_KERNEL` says otherwise). Within one policy, results
+/// are bitwise-identical for any thread count, tiling, and hardware.
 
 #include <cstddef>
 #include <span>
 #include <vector>
 
 #include "common/check.h"
+#include "common/kernel_policy.h"
 #include "common/matrix.h"
 #include "common/parallel.h"
 
@@ -25,62 +32,109 @@ enum class Metric {
 
 /// Distance between two equal-length vectors under `metric`.
 double Distance(std::span<const double> a, std::span<const double> b,
-                Metric metric);
+                Metric metric,
+                DistanceKernelPolicy policy = DistanceKernelPolicy::kDefault);
 
-/// Opt-in 4-accumulator-unrolled inner loops for the squared-Euclidean,
-/// Manhattan, and weighted squared-Euclidean kernels (process-wide,
-/// thread-safe). OFF by default and deliberately so: the unrolled kernels
-/// reassociate the floating-point sums, which is faster on wide cores but
-/// NOT bitwise-identical to the scalar left-to-right order — enabling
-/// them opts out of the byte-identical determinism contract (results
-/// differ from the scalar kernels by rounding, typically ~1 ulp per
-/// term). Benches expose this as `--distance-kernel scalar|unrolled`.
-void SetUnrolledDistanceKernels(bool enabled);
-
-/// Current process-wide kernel choice (false = bitwise-compat scalar).
-bool UnrolledDistanceKernelsEnabled();
-
-double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+double EuclideanDistance(std::span<const double> a, std::span<const double> b,
+                         DistanceKernelPolicy policy =
+                             DistanceKernelPolicy::kDefault);
 double SquaredEuclideanDistance(std::span<const double> a,
-                                std::span<const double> b);
-double ManhattanDistance(std::span<const double> a, std::span<const double> b);
-double CosineDistance(std::span<const double> a, std::span<const double> b);
+                                std::span<const double> b,
+                                DistanceKernelPolicy policy =
+                                    DistanceKernelPolicy::kDefault);
+double ManhattanDistance(std::span<const double> a, std::span<const double> b,
+                         DistanceKernelPolicy policy =
+                             DistanceKernelPolicy::kDefault);
+double CosineDistance(std::span<const double> a, std::span<const double> b,
+                      DistanceKernelPolicy policy =
+                          DistanceKernelPolicy::kDefault);
 
 /// Diagonal-Mahalanobis squared distance: sum_m w[m] * (a[m]-b[m])^2.
 /// Weights must be non-negative.
 double WeightedSquaredEuclidean(std::span<const double> a,
                                 std::span<const double> b,
-                                std::span<const double> weights);
+                                std::span<const double> weights,
+                                DistanceKernelPolicy policy =
+                                    DistanceKernelPolicy::kDefault);
+
+/// DEPRECATED shim over SetDefaultDistanceKernelPolicy: `true` sets the
+/// process-default policy to `kUnrolled`, `false` restores the modern
+/// default (`kFixedLane`). Kept so old callers keep compiling; new code
+/// should thread a DistanceKernelPolicy through ExecutionContext (or set
+/// the default explicitly). Pinned by tests/distance_kernels_test.cc.
+void SetUnrolledDistanceKernels(bool enabled);
+
+/// DEPRECATED shim: whether the process-default policy is `kUnrolled`.
+bool UnrolledDistanceKernelsEnabled();
 
 /// Precomputed symmetric pairwise distances, condensed upper-triangular
-/// storage: n*(n-1)/2 doubles. Diagonal is implicitly zero.
+/// storage: n*(n-1)/2 values. Diagonal is implicitly zero. Values are
+/// always computed in double precision; the storage mode optionally
+/// narrows them to float (DistanceStorage::kF32) for half the memory.
 class DistanceMatrix {
  public:
   DistanceMatrix() : n_(0) {}
 
-  /// Computes all pairwise distances between rows of `points`. Row blocks
-  /// are computed in parallel on the shared pool (exec.threads workers);
-  /// every entry lands in its own condensed slot, so the result is
-  /// bit-identical for any thread count.
+  /// Computes all pairwise distances between rows of `points` with a
+  /// tiled (cache-blocked) sweep: row-panel × column-panel tiles sized
+  /// to L2, the column panel repacked into a contiguous scratch buffer,
+  /// one parallel task per tile. Each pair's value is a pure function of
+  /// its two rows under `exec.distance_kernel`, and every entry lands in
+  /// its own condensed slot, so the result is bit-identical for any
+  /// thread count and any tile shape (pinned against ComputeUntiled).
   static DistanceMatrix Compute(const Matrix& points, Metric metric,
-                                const ExecutionContext& exec = {});
+                                const ExecutionContext& exec = {},
+                                DistanceStorage storage =
+                                    DistanceStorage::kF64);
 
-  /// Rehydrates a matrix from condensed storage (the artifact store's
-  /// deserialization path). `data` must hold exactly n*(n-1)/2 entries.
+  /// The pre-tiling row sweep (one task per row), kept as the oracle the
+  /// tiled build is pinned against and as the bench baseline. f64 only.
+  static DistanceMatrix ComputeUntiled(const Matrix& points, Metric metric,
+                                       const ExecutionContext& exec = {});
+
+  /// Rehydrates a matrix from condensed f64 storage (the artifact
+  /// store's deserialization path). `data` must hold exactly n*(n-1)/2
+  /// entries.
   static DistanceMatrix FromCondensed(size_t n, std::vector<double> data);
+
+  /// Rehydrates a matrix from condensed f32 storage.
+  static DistanceMatrix FromCondensed32(size_t n, std::vector<float> data);
 
   size_t n() const { return n_; }
 
-  /// The raw condensed upper-triangular storage, in CondensedIndex order
-  /// (the artifact store's serialization path).
-  const std::vector<double>& condensed() const { return data_; }
+  /// How the condensed values are stored (f64 unless Compute was asked
+  /// for f32).
+  DistanceStorage storage() const { return storage_; }
 
-  /// Distance between objects i and j (order-insensitive).
+  /// The raw condensed upper-triangular f64 storage, in CondensedIndex
+  /// order (the artifact store's serialization path). Only valid when
+  /// `storage() == kF64`.
+  const std::vector<double>& condensed() const {
+    CVCP_CHECK(storage_ == DistanceStorage::kF64);
+    return data_;
+  }
+
+  /// The raw condensed f32 storage. Only valid when `storage() == kF32`.
+  const std::vector<float>& condensed32() const {
+    CVCP_CHECK(storage_ == DistanceStorage::kF32);
+    return data32_;
+  }
+
+  /// Bytes held by the condensed storage (the memory-tier cache charge).
+  size_t MemoryBytes() const {
+    return data_.size() * sizeof(double) + data32_.size() * sizeof(float);
+  }
+
+  /// Distance between objects i and j (order-insensitive). f32 storage
+  /// widens back to double on read.
   double operator()(size_t i, size_t j) const {
     CVCP_DCHECK_LT(i, n_);
     CVCP_DCHECK_LT(j, n_);
     if (i == j) return 0.0;
-    return data_[CondensedIndex(i, j)];
+    const size_t idx = CondensedIndex(i, j);
+    return storage_ == DistanceStorage::kF32
+               ? static_cast<double>(data32_[idx])
+               : data_[idx];
   }
 
   /// Index of the (i, j) pair (i != j, order-insensitive) in the condensed
@@ -96,7 +150,9 @@ class DistanceMatrix {
 
  private:
   size_t n_;
+  DistanceStorage storage_ = DistanceStorage::kF64;
   std::vector<double> data_;
+  std::vector<float> data32_;
 };
 
 }  // namespace cvcp

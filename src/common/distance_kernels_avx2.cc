@@ -1,0 +1,216 @@
+/// \file
+/// AVX2 implementation of the fixed-lane distance kernels. Compiled with
+/// -mavx2 -ffp-contract=off on x86-64 only (CMake defines
+/// CVCP_HAVE_AVX2); selected at runtime by the dispatcher in
+/// distance_kernels.cc when the CPU reports AVX2.
+///
+/// Lane mapping: accumulator register 0 holds virtual lanes 0..3,
+/// register 1 holds lanes 4..7, so one 8-element block is two 256-bit
+/// loads and lane k receives exactly the terms at indices ≡ k (mod 8) in
+/// increasing order — the fixed-lane contract (distance_kernels.h). The
+/// registers are spilled to a lane array, the tail is accumulated in
+/// scalar (bit-identical: same adds, same order), and the canonical
+/// reduction tree runs in scalar. No FMA intrinsics anywhere: fusion
+/// would change the rounding of every term.
+
+#include "common/distance_kernels.h"
+
+#if defined(CVCP_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace cvcp::internal {
+
+namespace {
+
+inline double ReduceLanes(const double lanes[kFixedLaneWidth]) {
+  const double m0 = lanes[0] + lanes[4];
+  const double m1 = lanes[1] + lanes[5];
+  const double m2 = lanes[2] + lanes[6];
+  const double m3 = lanes[3] + lanes[7];
+  return (m0 + m2) + (m1 + m3);
+}
+
+/// The same reduction tree without leaving the registers: acc0 holds
+/// lanes 0..3 and acc1 lanes 4..7, so vaddpd(acc0, acc1) is exactly
+/// (m0, m1, m2, m3), the 128-bit halves add to (m0+m2, m1+m3), and the
+/// final scalar add closes the tree — the identical additions in the
+/// identical order as ReduceLanes, so the result is bit-equal. Used on
+/// the no-tail path (n divisible by 8), where spilling the lanes to
+/// memory for scalar reduction would cost more than the whole main loop.
+inline double ReduceButterfly(__m256d acc0, __m256d acc1) {
+  const __m256d m = _mm256_add_pd(acc0, acc1);
+  const __m128d lo = _mm256_castpd256_pd128(m);        // (m0, m1)
+  const __m128d hi = _mm256_extractf128_pd(m, 1);      // (m2, m3)
+  const __m128d s = _mm_add_pd(lo, hi);                // (m0+m2, m1+m3)
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+inline void SpillLanes(__m256d acc0, __m256d acc1,
+                       double lanes[kFixedLaneWidth]) {
+  _mm256_storeu_pd(lanes, acc0);
+  _mm256_storeu_pd(lanes + 4, acc1);
+}
+
+/// Clears the sign bit (|x|) without a branch; bit-identical to fabs.
+inline __m256d Abs(__m256d x) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  return _mm256_andnot_pd(sign_mask, x);
+}
+
+double Avx2SquaredEuclidean(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const size_t base = n - n % kFixedLaneWidth;
+  for (size_t i = 0; i < base; i += kFixedLaneWidth) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(d0, d0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(d1, d1));
+  }
+  if (base == n) return ReduceButterfly(acc0, acc1);
+  double lanes[kFixedLaneWidth];
+  SpillLanes(acc0, acc1, lanes);
+  for (size_t i = base; i < n; ++i) {
+    const double d = a[i] - b[i];
+    lanes[i - base] += d * d;
+  }
+  return ReduceLanes(lanes);
+}
+
+// Four pairs at once against a shared `a`: one pair of `a` loads feeds
+// four b-streams, and the eight accumulator registers give four
+// independent add chains, so the loop runs at add *throughput* instead
+// of one pair's add latency. Per pair the terms hit the same lanes in
+// the same order as Avx2SquaredEuclidean — bitwise-identical results.
+void Avx2SquaredEuclideanX4(const double* a, const double* b, size_t stride,
+                            size_t n, double out[4]) {
+  const double* bs[4] = {b, b + stride, b + 2 * stride, b + 3 * stride};
+  __m256d acc0[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                     _mm256_setzero_pd(), _mm256_setzero_pd()};
+  __m256d acc1[4] = {_mm256_setzero_pd(), _mm256_setzero_pd(),
+                     _mm256_setzero_pd(), _mm256_setzero_pd()};
+  const size_t base = n - n % kFixedLaneWidth;
+  for (size_t i = 0; i < base; i += kFixedLaneWidth) {
+    const __m256d va0 = _mm256_loadu_pd(a + i);
+    const __m256d va1 = _mm256_loadu_pd(a + i + 4);
+    for (size_t p = 0; p < 4; ++p) {
+      const __m256d d0 = _mm256_sub_pd(va0, _mm256_loadu_pd(bs[p] + i));
+      const __m256d d1 = _mm256_sub_pd(va1, _mm256_loadu_pd(bs[p] + i + 4));
+      acc0[p] = _mm256_add_pd(acc0[p], _mm256_mul_pd(d0, d0));
+      acc1[p] = _mm256_add_pd(acc1[p], _mm256_mul_pd(d1, d1));
+    }
+  }
+  if (base == n) {
+    for (size_t p = 0; p < 4; ++p) out[p] = ReduceButterfly(acc0[p], acc1[p]);
+    return;
+  }
+  for (size_t p = 0; p < 4; ++p) {
+    double lanes[kFixedLaneWidth];
+    SpillLanes(acc0[p], acc1[p], lanes);
+    for (size_t i = base; i < n; ++i) {
+      const double d = a[i] - bs[p][i];
+      lanes[i - base] += d * d;
+    }
+    out[p] = ReduceLanes(lanes);
+  }
+}
+
+double Avx2Manhattan(const double* a, const double* b, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const size_t base = n - n % kFixedLaneWidth;
+  for (size_t i = 0; i < base; i += kFixedLaneWidth) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_add_pd(acc0, Abs(d0));
+    acc1 = _mm256_add_pd(acc1, Abs(d1));
+  }
+  double lanes[kFixedLaneWidth];
+  SpillLanes(acc0, acc1, lanes);
+  for (size_t i = base; i < n; ++i) {
+    lanes[i - base] += std::fabs(a[i] - b[i]);
+  }
+  return ReduceLanes(lanes);
+}
+
+double Avx2Cosine(const double* a, const double* b, size_t n) {
+  __m256d dot0 = _mm256_setzero_pd(), dot1 = _mm256_setzero_pd();
+  __m256d na0 = _mm256_setzero_pd(), na1 = _mm256_setzero_pd();
+  __m256d nb0 = _mm256_setzero_pd(), nb1 = _mm256_setzero_pd();
+  const size_t base = n - n % kFixedLaneWidth;
+  for (size_t i = 0; i < base; i += kFixedLaneWidth) {
+    const __m256d va0 = _mm256_loadu_pd(a + i);
+    const __m256d va1 = _mm256_loadu_pd(a + i + 4);
+    const __m256d vb0 = _mm256_loadu_pd(b + i);
+    const __m256d vb1 = _mm256_loadu_pd(b + i + 4);
+    dot0 = _mm256_add_pd(dot0, _mm256_mul_pd(va0, vb0));
+    dot1 = _mm256_add_pd(dot1, _mm256_mul_pd(va1, vb1));
+    na0 = _mm256_add_pd(na0, _mm256_mul_pd(va0, va0));
+    na1 = _mm256_add_pd(na1, _mm256_mul_pd(va1, va1));
+    nb0 = _mm256_add_pd(nb0, _mm256_mul_pd(vb0, vb0));
+    nb1 = _mm256_add_pd(nb1, _mm256_mul_pd(vb1, vb1));
+  }
+  double dot[kFixedLaneWidth], na[kFixedLaneWidth], nb[kFixedLaneWidth];
+  SpillLanes(dot0, dot1, dot);
+  SpillLanes(na0, na1, na);
+  SpillLanes(nb0, nb1, nb);
+  for (size_t i = base; i < n; ++i) {
+    dot[i - base] += a[i] * b[i];
+    na[i - base] += a[i] * a[i];
+    nb[i - base] += b[i] * b[i];
+  }
+  const double sum_dot = ReduceLanes(dot);
+  const double sum_na = ReduceLanes(na);
+  const double sum_nb = ReduceLanes(nb);
+  if (sum_na == 0.0 || sum_nb == 0.0) return 1.0;
+  return 1.0 - sum_dot / (std::sqrt(sum_na) * std::sqrt(sum_nb));
+}
+
+double Avx2WeightedSquaredEuclidean(const double* a, const double* b,
+                                    const double* w, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  const size_t base = n - n % kFixedLaneWidth;
+  for (size_t i = 0; i < base; i += kFixedLaneWidth) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    // w * (d * d), matching the portable reference's parenthesization.
+    acc0 = _mm256_add_pd(
+        acc0, _mm256_mul_pd(_mm256_loadu_pd(w + i), _mm256_mul_pd(d0, d0)));
+    acc1 = _mm256_add_pd(
+        acc1,
+        _mm256_mul_pd(_mm256_loadu_pd(w + i + 4), _mm256_mul_pd(d1, d1)));
+  }
+  double lanes[kFixedLaneWidth];
+  SpillLanes(acc0, acc1, lanes);
+  for (size_t i = base; i < n; ++i) {
+    const double d = a[i] - b[i];
+    lanes[i - base] += w[i] * (d * d);
+  }
+  return ReduceLanes(lanes);
+}
+
+const DistanceKernels kAvx2FixedLane = {
+    Avx2SquaredEuclidean,
+    Avx2Manhattan,
+    Avx2Cosine,
+    Avx2WeightedSquaredEuclidean,
+    Avx2SquaredEuclideanX4,
+};
+
+}  // namespace
+
+const DistanceKernels& Avx2FixedLaneKernels() { return kAvx2FixedLane; }
+
+}  // namespace cvcp::internal
+
+#endif  // CVCP_HAVE_AVX2

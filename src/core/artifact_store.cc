@@ -33,16 +33,30 @@ const char* MetricTag(Metric metric) {
   return "unknown";
 }
 
-std::string DistanceFileName(uint64_t hash, Metric metric) {
-  return Format("%016llx-%s-dist.cvcp", static_cast<unsigned long long>(hash),
-                MetricTag(metric));
+/// "-f32" on every float32-family filename keeps the two storage modes in
+/// disjoint key spaces within one directory; f64 names are unchanged from
+/// earlier versions.
+const char* StorageSuffix(DistanceStorage storage) {
+  return storage == DistanceStorage::kF32 ? "-f32" : "";
 }
 
-std::string OpticsFileName(uint64_t hash, Metric metric, int min_pts) {
-  return Format("%016llx-%s-mp%03d-optics.cvcp",
+std::string DistanceFileName(uint64_t hash, Metric metric,
+                             DistanceStorage storage) {
+  return Format("%016llx-%s-dist%s.cvcp",
                 static_cast<unsigned long long>(hash), MetricTag(metric),
-                min_pts);
+                StorageSuffix(storage));
 }
+
+std::string OpticsFileName(uint64_t hash, Metric metric, int min_pts,
+                           DistanceStorage storage) {
+  return Format("%016llx-%s-mp%03d-optics%s.cvcp",
+                static_cast<unsigned long long>(hash), MetricTag(metric),
+                min_pts, StorageSuffix(storage));
+}
+
+/// Trailing record of an f32-derived optics block; f64 blocks have no
+/// trailing record at all, so neither decodes as the other.
+constexpr uint32_t kOpticsF32Marker = 1;
 
 /// Tags come from callers (bench names); squash anything that is not
 /// filename-safe so a tag can never escape the store directory.
@@ -72,6 +86,84 @@ int DecodeInt(uint64_t v) {
   return static_cast<int>(static_cast<int64_t>(v));
 }
 
+/// Fills `storage` + `decoded_key` of a listed file from its validated
+/// block records, and cross-checks the filename's "-f32" suffix against
+/// what the payload actually is — a renamed file surfaces as invalid here
+/// (`store_inspect verify` fails on it). Record-level read failures mean
+/// encoder/decoder schema drift and also mark the file invalid.
+void DescribeArtifact(BlockReader* reader, ArtifactFileInfo* info) {
+  const bool name_f32 = info->filename.find("-f32.cvcp") != std::string::npos;
+  auto fail = [&](std::string why) {
+    info->valid = false;
+    info->detail = std::move(why);
+  };
+  switch (static_cast<ArtifactKind>(info->kind)) {
+    case ArtifactKind::kDistanceMatrix:
+    case ArtifactKind::kDistanceMatrixF32: {
+      const bool f32 = static_cast<ArtifactKind>(info->kind) ==
+                       ArtifactKind::kDistanceMatrixF32;
+      Result<uint64_t> hash = reader->ReadU64();
+      Result<uint32_t> metric = reader->ReadU32();
+      Result<uint64_t> n = reader->ReadU64();
+      if (!hash.ok() || !metric.ok() || !n.ok()) {
+        return fail("undecodable distance key records");
+      }
+      info->storage = f32 ? "f32" : "f64";
+      info->decoded_key =
+          Format("hash=%016llx metric=%s n=%llu",
+                 static_cast<unsigned long long>(*hash),
+                 MetricTag(static_cast<Metric>(*metric)),
+                 static_cast<unsigned long long>(*n));
+      if (f32 != name_f32) {
+        fail("filename storage suffix disagrees with block kind");
+      }
+      break;
+    }
+    case ArtifactKind::kOpticsModel: {
+      Result<uint64_t> hash = reader->ReadU64();
+      Result<uint32_t> metric = reader->ReadU32();
+      Result<uint32_t> min_pts = reader->ReadU32();
+      Result<std::vector<size_t>> order = reader->ReadSizes();
+      Result<std::vector<double>> reach = reader->ReadDoubles();
+      Result<std::vector<double>> core = reader->ReadDoubles();
+      if (!hash.ok() || !metric.ok() || !min_pts.ok() || !order.ok() ||
+          !reach.ok() || !core.ok()) {
+        return fail("undecodable optics records");
+      }
+      bool f32 = false;
+      if (reader->remaining() > 0) {
+        Result<uint32_t> marker = reader->ReadU32();
+        if (!marker.ok() || *marker != kOpticsF32Marker) {
+          return fail("unrecognized optics trailing record");
+        }
+        f32 = true;
+      }
+      info->storage = f32 ? "f32" : "f64";
+      info->decoded_key = Format(
+          "hash=%016llx metric=%s mp=%03u n=%zu",
+          static_cast<unsigned long long>(*hash),
+          MetricTag(static_cast<Metric>(*metric)), *min_pts, order->size());
+      if (f32 != name_f32) {
+        fail("filename storage suffix disagrees with payload storage marker");
+      }
+      break;
+    }
+    case ArtifactKind::kCellTimings: {
+      Result<uint64_t> hash = reader->ReadU64();
+      Result<std::string> tag = reader->ReadString();
+      if (!hash.ok() || !tag.ok()) {
+        return fail("undecodable timings key records");
+      }
+      info->decoded_key =
+          Format("hash=%016llx tag=%s",
+                 static_cast<unsigned long long>(*hash), tag->c_str());
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 }  // namespace
 
 const char* ArtifactKindName(ArtifactKind kind) {
@@ -82,6 +174,8 @@ const char* ArtifactKindName(ArtifactKind kind) {
       return "optics";
     case ArtifactKind::kCellTimings:
       return "timings";
+    case ArtifactKind::kDistanceMatrixF32:
+      return "distances-f32";
   }
   return "unknown";
 }
@@ -132,8 +226,48 @@ Result<DistanceMatrix> DecodeDistanceMatrix(std::string bytes,
                                        std::move(condensed));
 }
 
+std::string EncodeDistanceMatrix32(uint64_t dataset_hash, Metric metric,
+                                   const DistanceMatrix& matrix) {
+  BlockBuilder builder(
+      static_cast<uint32_t>(ArtifactKind::kDistanceMatrixF32));
+  builder.AppendU64(dataset_hash);
+  builder.AppendU32(static_cast<uint32_t>(metric));
+  builder.AppendU64(matrix.n());
+  builder.AppendFloats(matrix.condensed32());
+  return builder.Finish();
+}
+
+Result<DistanceMatrix> DecodeDistanceMatrix32(std::string bytes,
+                                              uint64_t dataset_hash,
+                                              Metric metric) {
+  CVCP_ASSIGN_OR_RETURN(
+      BlockReader reader,
+      BlockReader::Open(
+          std::move(bytes),
+          static_cast<uint32_t>(ArtifactKind::kDistanceMatrixF32)));
+  CVCP_ASSIGN_OR_RETURN(uint64_t stored_hash, reader.ReadU64());
+  CVCP_ASSIGN_OR_RETURN(uint32_t stored_metric, reader.ReadU32());
+  if (stored_hash != dataset_hash ||
+      stored_metric != static_cast<uint32_t>(metric)) {
+    return Status::Corruption(
+        "f32 distance block is keyed to a different (dataset, metric)");
+  }
+  CVCP_ASSIGN_OR_RETURN(uint64_t n, reader.ReadU64());
+  CVCP_ASSIGN_OR_RETURN(std::vector<float> condensed, reader.ReadFloats());
+  const uint64_t expected = n < 2 ? 0 : n * (n - 1) / 2;
+  if (condensed.size() != expected) {
+    return Status::Corruption(
+        Format("f32 distance block for n=%llu has %zu entries, expected %llu",
+               static_cast<unsigned long long>(n), condensed.size(),
+               static_cast<unsigned long long>(expected)));
+  }
+  return DistanceMatrix::FromCondensed32(static_cast<size_t>(n),
+                                         std::move(condensed));
+}
+
 std::string EncodeOpticsModel(uint64_t dataset_hash, Metric metric,
-                              int min_pts, const OpticsResult& optics) {
+                              int min_pts, const OpticsResult& optics,
+                              DistanceStorage storage) {
   BlockBuilder builder(static_cast<uint32_t>(ArtifactKind::kOpticsModel));
   builder.AppendU64(dataset_hash);
   builder.AppendU32(static_cast<uint32_t>(metric));
@@ -141,12 +275,13 @@ std::string EncodeOpticsModel(uint64_t dataset_hash, Metric metric,
   builder.AppendSizes(optics.order);
   builder.AppendDoubles(optics.reachability);
   builder.AppendDoubles(optics.core_distance);
+  if (storage == DistanceStorage::kF32) builder.AppendU32(kOpticsF32Marker);
   return builder.Finish();
 }
 
 Result<OpticsResult> DecodeOpticsModel(std::string bytes,
                                        uint64_t dataset_hash, Metric metric,
-                                       int min_pts) {
+                                       int min_pts, DistanceStorage storage) {
   CVCP_ASSIGN_OR_RETURN(
       BlockReader reader,
       BlockReader::Open(std::move(bytes),
@@ -171,6 +306,19 @@ Result<OpticsResult> DecodeOpticsModel(std::string bytes,
                "reachability %zu, core %zu",
                optics.order.size(), optics.reachability.size(),
                optics.core_distance.size()));
+  }
+  if (storage == DistanceStorage::kF32) {
+    CVCP_ASSIGN_OR_RETURN(uint32_t marker, reader.ReadU32());
+    if (marker != kOpticsF32Marker) {
+      return Status::Corruption(
+          Format("optics block trailing marker is %u, expected the f32 "
+                 "marker %u",
+                 marker, kOpticsF32Marker));
+    }
+  } else if (reader.remaining() != 0) {
+    return Status::Corruption(
+        "f64 optics key resolved to a block with trailing records "
+        "(f32-derived model)");
   }
   return optics;
 }
@@ -297,11 +445,17 @@ Status ArtifactStore::WriteFileAtomic(const std::string& filename,
 }
 
 Result<DistanceMatrix> ArtifactStore::LoadDistances(uint64_t dataset_hash,
-                                                    Metric metric) {
-  Result<std::string> bytes = ReadFile(DistanceFileName(dataset_hash, metric));
+                                                    Metric metric,
+                                                    DistanceStorage storage) {
+  Result<std::string> bytes =
+      ReadFile(DistanceFileName(dataset_hash, metric, storage));
   if (!bytes.ok()) return ClassifyMiss(bytes.status());
   Result<DistanceMatrix> decoded =
-      DecodeDistanceMatrix(std::move(bytes).value(), dataset_hash, metric);
+      storage == DistanceStorage::kF32
+          ? DecodeDistanceMatrix32(std::move(bytes).value(), dataset_hash,
+                                   metric)
+          : DecodeDistanceMatrix(std::move(bytes).value(), dataset_hash,
+                                 metric);
   if (!decoded.ok()) return ClassifyMiss(decoded.status());
   disk_hits_.fetch_add(1, std::memory_order_relaxed);
   return decoded;
@@ -309,28 +463,37 @@ Result<DistanceMatrix> ArtifactStore::LoadDistances(uint64_t dataset_hash,
 
 Status ArtifactStore::SaveDistances(uint64_t dataset_hash, Metric metric,
                                     const DistanceMatrix& matrix) {
-  return WriteFileAtomic(DistanceFileName(dataset_hash, metric),
-                         EncodeDistanceMatrix(dataset_hash, metric, matrix));
+  // The matrix's own storage mode picks the artifact family; encoder and
+  // filename always agree.
+  if (matrix.storage() == DistanceStorage::kF32) {
+    return WriteFileAtomic(
+        DistanceFileName(dataset_hash, metric, DistanceStorage::kF32),
+        EncodeDistanceMatrix32(dataset_hash, metric, matrix));
+  }
+  return WriteFileAtomic(
+      DistanceFileName(dataset_hash, metric, DistanceStorage::kF64),
+      EncodeDistanceMatrix(dataset_hash, metric, matrix));
 }
 
 Result<OpticsResult> ArtifactStore::LoadOpticsModel(uint64_t dataset_hash,
-                                                    Metric metric,
-                                                    int min_pts) {
+                                                    Metric metric, int min_pts,
+                                                    DistanceStorage storage) {
   Result<std::string> bytes =
-      ReadFile(OpticsFileName(dataset_hash, metric, min_pts));
+      ReadFile(OpticsFileName(dataset_hash, metric, min_pts, storage));
   if (!bytes.ok()) return ClassifyMiss(bytes.status());
   Result<OpticsResult> decoded = DecodeOpticsModel(
-      std::move(bytes).value(), dataset_hash, metric, min_pts);
+      std::move(bytes).value(), dataset_hash, metric, min_pts, storage);
   if (!decoded.ok()) return ClassifyMiss(decoded.status());
   disk_hits_.fetch_add(1, std::memory_order_relaxed);
   return decoded;
 }
 
 Status ArtifactStore::SaveOpticsModel(uint64_t dataset_hash, Metric metric,
-                                      int min_pts, const OpticsResult& optics) {
+                                      int min_pts, const OpticsResult& optics,
+                                      DistanceStorage storage) {
   return WriteFileAtomic(
-      OpticsFileName(dataset_hash, metric, min_pts),
-      EncodeOpticsModel(dataset_hash, metric, min_pts, optics));
+      OpticsFileName(dataset_hash, metric, min_pts, storage),
+      EncodeOpticsModel(dataset_hash, metric, min_pts, optics, storage));
 }
 
 Result<std::vector<CvCellTiming>> ArtifactStore::LoadCellTimings(
@@ -371,7 +534,11 @@ Result<std::vector<ArtifactFileInfo>> ArtifactStore::List() const {
       info.kind = *kind;
       Result<BlockReader> reader = BlockReader::Open(std::move(bytes), *kind);
       info.valid = reader.ok();
-      if (!reader.ok()) info.detail = reader.status().ToString();
+      if (!reader.ok()) {
+        info.detail = reader.status().ToString();
+      } else {
+        DescribeArtifact(&*reader, &info);
+      }
     } else {
       info.detail = kind.status().ToString();
     }

@@ -51,12 +51,14 @@ namespace cvcp {
 
 /// What a stored block encodes (the block header's `kind` field).
 enum class ArtifactKind : uint32_t {
-  kDistanceMatrix = 1,
+  kDistanceMatrix = 1,      ///< condensed distances, f64 payload
   kOpticsModel = 2,
   kCellTimings = 3,
+  kDistanceMatrixF32 = 4,   ///< condensed distances, f32 payload
 };
 
-/// Stable display name for a kind ("distances", "optics", "timings").
+/// Stable display name for a kind ("distances", "optics", "timings",
+/// "distances-f32").
 const char* ArtifactKindName(ArtifactKind kind);
 
 /// Content hash of a point matrix: dims + every coordinate's bit
@@ -72,11 +74,28 @@ std::string EncodeDistanceMatrix(uint64_t dataset_hash, Metric metric,
 Result<DistanceMatrix> DecodeDistanceMatrix(std::string bytes,
                                             uint64_t dataset_hash,
                                             Metric metric);
+/// float32-storage variant: a distinct block kind (kDistanceMatrixF32)
+/// with an f32 payload. The f64 encoding above is untouched — mixed-mode
+/// store directories can never serve one mode's bytes for the other
+/// (distinct kind AND distinct filename).
+std::string EncodeDistanceMatrix32(uint64_t dataset_hash, Metric metric,
+                                   const DistanceMatrix& matrix);
+Result<DistanceMatrix> DecodeDistanceMatrix32(std::string bytes,
+                                              uint64_t dataset_hash,
+                                              Metric metric);
+/// Optics blocks share one kind for both storage modes; an f32-derived
+/// model carries a trailing u32 marker record (=1) and an "-f32" filename,
+/// while the f64 encoding stays byte-identical to what earlier versions
+/// wrote (its decoder requires zero trailing records, so neither mode can
+/// decode as the other).
 std::string EncodeOpticsModel(uint64_t dataset_hash, Metric metric,
-                              int min_pts, const OpticsResult& optics);
+                              int min_pts, const OpticsResult& optics,
+                              DistanceStorage storage = DistanceStorage::kF64);
 Result<OpticsResult> DecodeOpticsModel(std::string bytes,
                                        uint64_t dataset_hash, Metric metric,
-                                       int min_pts);
+                                       int min_pts,
+                                       DistanceStorage storage =
+                                           DistanceStorage::kF64);
 std::string EncodeCellTimings(uint64_t key_hash, const std::string& tag,
                               const std::vector<CvCellTiming>& timings);
 Result<std::vector<CvCellTiming>> DecodeCellTimings(std::string bytes,
@@ -91,6 +110,13 @@ struct ArtifactFileInfo {
   uint32_t kind = 0;
   bool valid = false;   ///< full frame validation passed
   std::string detail;   ///< error text when !valid
+  /// Distance storage mode decoded from the payload ("f64" or "f32";
+  /// empty for kinds that carry no distances, e.g. timings).
+  std::string storage;
+  /// Human-readable decoded key fields, e.g.
+  /// "hash=41c3... metric=euc mp=005". Empty when the payload is
+  /// undecodable.
+  std::string decoded_key;
 };
 
 /// The disk tier. Thread-safe; one instance may be shared by every
@@ -110,7 +136,12 @@ class ArtifactStore {
   /// kNotFound (cold key), kCorruption (damaged bytes, key mismatch),
   /// kFailedPrecondition (format-version skew) — all counted and all
   /// meaning "recompute".
-  Result<DistanceMatrix> LoadDistances(uint64_t dataset_hash, Metric metric);
+  /// `storage` selects which of the two disjoint artifact families is
+  /// addressed; the key (filename and block kind) differs per mode, so a
+  /// mixed-mode directory never serves cross-mode bytes.
+  Result<DistanceMatrix> LoadDistances(uint64_t dataset_hash, Metric metric,
+                                       DistanceStorage storage =
+                                           DistanceStorage::kF64);
   Status SaveDistances(uint64_t dataset_hash, Metric metric,
                        const DistanceMatrix& matrix);
 
@@ -120,9 +151,12 @@ class ArtifactStore {
   /// (Dendrogram::FromReachability), so the reader rebuilds it and the
   /// bytes stay minimal.
   Result<OpticsResult> LoadOpticsModel(uint64_t dataset_hash, Metric metric,
-                                       int min_pts);
+                                       int min_pts,
+                                       DistanceStorage storage =
+                                           DistanceStorage::kF64);
   Status SaveOpticsModel(uint64_t dataset_hash, Metric metric, int min_pts,
-                         const OpticsResult& optics);
+                         const OpticsResult& optics,
+                         DistanceStorage storage = DistanceStorage::kF64);
 
   /// Measured (param, fold) wall times under an arbitrary (hash, tag)
   /// key — the cost model's cross-process memory. Execution order only;

@@ -25,11 +25,12 @@ void FoscOpticsDendClusterer::PrewarmCache(const Dataset& data,
   cache->Prewarm(metric_, param_grid, exec);
 }
 
-Result<FoscOpticsModel> FoscOpticsDendClusterer::BuildModel(const Dataset& data,
-                                                            int param) const {
+Result<FoscOpticsModel> FoscOpticsDendClusterer::BuildModel(
+    const Dataset& data, int param, DistanceKernelPolicy kernel) const {
   OpticsConfig optics_config;
   optics_config.min_pts = param;
   optics_config.metric = metric_;
+  optics_config.kernel = kernel;
   CVCP_ASSIGN_OR_RETURN(OpticsResult optics,
                         RunOptics(data.points(), optics_config));
   FoscOpticsModel model;
@@ -58,16 +59,18 @@ Result<Clustering> FoscOpticsDendClusterer::DoCluster(
         context.cache->FoscModel(metric_, param, context.exec));
     return ExtractWithSupervision(*model, supervision);
   }
-  CVCP_ASSIGN_OR_RETURN(FoscOpticsModel model, BuildModel(data, param));
+  CVCP_ASSIGN_OR_RETURN(
+      FoscOpticsModel model,
+      BuildModel(data, param, context.exec.distance_kernel));
   return ExtractWithSupervision(model, supervision);
 }
 
 Result<Clustering> MpckMeansClusterer::DoCluster(
     const Dataset& data, const Supervision& supervision, int param, Rng* rng,
     const ClusterContext& context) const {
-  (void)context;  // supervision shapes every stage; nothing to reuse
   MpckMeansConfig config = base_;
   config.k = param;
+  config.kernel = context.exec.distance_kernel;
   CVCP_ASSIGN_OR_RETURN(
       MpckMeansResult result,
       RunMpckMeans(data.points(), supervision.constraints(), config, rng));
@@ -77,9 +80,9 @@ Result<Clustering> MpckMeansClusterer::DoCluster(
 Result<Clustering> CopKMeansClusterer::DoCluster(
     const Dataset& data, const Supervision& supervision, int param, Rng* rng,
     const ClusterContext& context) const {
-  (void)context;
   CopKMeansConfig config = base_;
   config.k = param;
+  config.kernel = context.exec.distance_kernel;
   Result<CopKMeansResult> result =
       RunCopKMeans(data.points(), supervision.constraints(), config, rng);
   if (result.ok()) return std::move(result).value().clustering;
@@ -90,6 +93,7 @@ Result<Clustering> CopKMeansClusterer::DoCluster(
   // than aborting the whole model-selection sweep.
   KMeansConfig km;
   km.k = param;
+  km.kernel = config.kernel;
   CVCP_ASSIGN_OR_RETURN(KMeansResult fallback,
                         RunKMeans(data.points(), km, rng));
   return fallback.clustering;
@@ -99,9 +103,9 @@ Result<Clustering> KMeansClusterer::DoCluster(
     const Dataset& data, const Supervision& supervision, int param, Rng* rng,
     const ClusterContext& context) const {
   (void)supervision;
-  (void)context;
   KMeansConfig config = base_;
   config.k = param;
+  config.kernel = context.exec.distance_kernel;
   CVCP_ASSIGN_OR_RETURN(KMeansResult result,
                         RunKMeans(data.points(), config, rng));
   return result.clustering;

@@ -17,7 +17,13 @@ double MsSince(const std::chrono::steady_clock::time_point& start) {
 }
 
 size_t DistanceCharge(const DistanceMatrix& dm) {
-  return dm.condensed().size() * sizeof(double) + sizeof(DistanceMatrix);
+  return dm.MemoryBytes() + sizeof(DistanceMatrix);
+}
+
+/// "-f32" on every float32-mode memory key keeps the two storage modes
+/// in disjoint key spaces within one shared LRU.
+const char* StorageKeySuffix(DistanceStorage storage) {
+  return storage == DistanceStorage::kF32 ? "-f32" : "";
 }
 
 size_t ModelCharge(const FoscOpticsModel& model) {
@@ -34,7 +40,8 @@ DatasetCache::DatasetCache(const Matrix& points, DatasetCacheTiers tiers)
     : points_(&points),
       content_hash_(HashMatrixContent(points)),
       memory_(tiers.memory),
-      store_(tiers.store) {
+      store_(tiers.store),
+      storage_(tiers.storage) {
   if (memory_ == nullptr) {
     // Private unbounded tier: the original per-dataset memo semantics.
     owned_memory_ = std::make_unique<ShardedLruCache>(
@@ -44,15 +51,16 @@ DatasetCache::DatasetCache(const Matrix& points, DatasetCacheTiers tiers)
 }
 
 std::string DatasetCache::DistanceKey(Metric metric) const {
-  return Format("%016llx-m%d-dist",
+  return Format("%016llx-m%d-dist%s",
                 static_cast<unsigned long long>(content_hash_),
-                static_cast<int>(metric));
+                static_cast<int>(metric), StorageKeySuffix(storage_));
 }
 
 std::string DatasetCache::ModelKey(Metric metric, int min_pts) const {
-  return Format("%016llx-m%d-mp%d-model",
+  return Format("%016llx-m%d-mp%d-model%s",
                 static_cast<unsigned long long>(content_hash_),
-                static_cast<int>(metric), min_pts);
+                static_cast<int>(metric), min_pts,
+                StorageKeySuffix(storage_));
 }
 
 std::shared_ptr<const DistanceMatrix> DatasetCache::Distances(
@@ -69,7 +77,8 @@ std::shared_ptr<const DistanceMatrix> DatasetCache::Distances(
   // discarded.
   if (store_ != nullptr) {
     const auto start = std::chrono::steady_clock::now();
-    Result<DistanceMatrix> loaded = store_->LoadDistances(content_hash_, metric);
+    Result<DistanceMatrix> loaded =
+        store_->LoadDistances(content_hash_, metric, storage_);
     if (loaded.ok()) {
       auto value = std::make_shared<const DistanceMatrix>(
           std::move(loaded).value());
@@ -87,7 +96,7 @@ std::shared_ptr<const DistanceMatrix> DatasetCache::Distances(
   }
   const auto start = std::chrono::steady_clock::now();
   auto built = std::make_shared<const DistanceMatrix>(
-      DistanceMatrix::Compute(*points_, metric, exec));
+      DistanceMatrix::Compute(*points_, metric, exec, storage_));
   const double ms = MsSince(start);
   const size_t charge = DistanceCharge(*built);
   auto published = std::static_pointer_cast<const DistanceMatrix>(
@@ -124,7 +133,7 @@ Result<std::shared_ptr<const FoscOpticsModel>> DatasetCache::FoscModel(
   if (store_ != nullptr) {
     const auto start = std::chrono::steady_clock::now();
     Result<OpticsResult> loaded =
-        store_->LoadOpticsModel(content_hash_, metric, min_pts);
+        store_->LoadOpticsModel(content_hash_, metric, min_pts, storage_);
     if (loaded.ok()) {
       auto model = std::make_shared<FoscOpticsModel>();
       model->optics = std::move(loaded).value();
@@ -174,7 +183,7 @@ Result<std::shared_ptr<const FoscOpticsModel>> DatasetCache::FoscModel(
   }
   if (store_ != nullptr && published == built) {
     store_->SaveOpticsModel(content_hash_, metric, min_pts,
-                            published->optics);
+                            published->optics, storage_);
   }
   return ModelPtr(published);
 }
@@ -184,9 +193,14 @@ void DatasetCache::Prewarm(Metric metric, std::span<const int> min_pts_grid,
   Distances(metric, exec);
   // Grid models are independent; build them on the pool. Each lane runs
   // serially inside (the distance matrix already exists), so nested
-  // parallelism cannot oversubscribe.
+  // parallelism cannot oversubscribe. Only the thread budget drops to 1 —
+  // the rest of the context (notably the distance-kernel policy) must
+  // survive, or a prewarmed-on-miss model could be built under a
+  // different policy than the lazy path would use.
+  ExecutionContext serial = exec;
+  serial.threads = 1;
   ParallelFor(exec, min_pts_grid.size(), [&](size_t i) {
-    FoscModel(metric, min_pts_grid[i], ExecutionContext::Serial());
+    FoscModel(metric, min_pts_grid[i], serial);
   });
 }
 
@@ -208,17 +222,18 @@ DatasetCache::Stats DatasetCache::stats() const {
 }
 
 DatasetCachePool::DatasetCachePool(size_t memory_capacity_bytes,
-                                   ArtifactStore* store)
-    : memory_(memory_capacity_bytes), store_(store) {}
+                                   ArtifactStore* store,
+                                   DistanceStorage storage)
+    : memory_(memory_capacity_bytes), store_(store), storage_(storage) {}
 
 DatasetCache* DatasetCachePool::For(const Matrix& points) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = caches_.find(&points);
   if (it == caches_.end()) {
     it = caches_
-             .emplace(&points,
-                      std::make_unique<DatasetCache>(
-                          points, DatasetCacheTiers{&memory_, store_}))
+             .emplace(&points, std::make_unique<DatasetCache>(
+                                   points, DatasetCacheTiers{
+                                               &memory_, store_, storage_}))
              .first;
   }
   return it->second.get();

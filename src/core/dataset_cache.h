@@ -90,6 +90,12 @@ struct FoscOpticsModel {
 struct DatasetCacheTiers {
   ShardedLruCache* memory = nullptr;
   ArtifactStore* store = nullptr;
+  /// Condensed-distance storage mode for everything this cache builds,
+  /// loads, or saves. Modes live in disjoint key spaces in both tiers
+  /// (distinct memory keys, distinct filenames and block kinds), so
+  /// mixed-mode runs sharing one store directory never serve each other's
+  /// artifacts.
+  DistanceStorage storage = DistanceStorage::kF64;
 };
 
 /// Thread-safe, lazily-built cache of per-dataset structures. One
@@ -109,6 +115,9 @@ class DatasetCache {
 
   /// The dataset's content hash — the cross-process artifact key prefix.
   uint64_t content_hash() const { return content_hash_; }
+
+  /// The condensed-distance storage mode this cache was configured with.
+  DistanceStorage storage() const { return storage_; }
 
   /// The condensed pairwise distance matrix under `metric`. Resolution
   /// order: memory LRU, then disk store, then `DistanceMatrix::Compute`
@@ -168,6 +177,7 @@ class DatasetCache {
   uint64_t content_hash_;
   ShardedLruCache* memory_;  ///< points at `owned_memory_` when not shared
   ArtifactStore* store_;
+  DistanceStorage storage_;
   std::unique_ptr<ShardedLruCache> owned_memory_;
 
   // Error memo: per-dataset, unbounded (a handful of bad params at most),
@@ -199,9 +209,11 @@ class DatasetCache {
 class DatasetCachePool {
  public:
   /// `memory_capacity_bytes` bounds the shared LRU; `store` (borrowed,
-  /// may be null) enables the disk tier.
+  /// may be null) enables the disk tier. `storage` is inherited by every
+  /// per-dataset cache the pool creates.
   explicit DatasetCachePool(size_t memory_capacity_bytes,
-                            ArtifactStore* store = nullptr);
+                            ArtifactStore* store = nullptr,
+                            DistanceStorage storage = DistanceStorage::kF64);
 
   DatasetCachePool(const DatasetCachePool&) = delete;
   DatasetCachePool& operator=(const DatasetCachePool&) = delete;
@@ -219,6 +231,7 @@ class DatasetCachePool {
  private:
   ShardedLruCache memory_;
   ArtifactStore* store_;
+  DistanceStorage storage_;
   mutable std::mutex mu_;
   std::map<const Matrix*, std::unique_ptr<DatasetCache>> caches_;
 };

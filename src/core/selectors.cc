@@ -36,7 +36,9 @@ Result<SilhouetteSelection> SelectBySilhouette(
             ? SilhouetteCoefficient(
                   *context.cache->Distances(Metric::kEuclidean, context.exec),
                   clustering)
-            : SilhouetteCoefficient(data.points(), clustering);
+            : SilhouetteCoefficient(data.points(), clustering,
+                                    Metric::kEuclidean,
+                                    context.exec.distance_kernel);
     sel.silhouettes.push_back(sil);
     if (!std::isnan(sil) && (!have_best || sil > sel.best_silhouette)) {
       sel.best_silhouette = sil;

@@ -286,6 +286,134 @@ TEST(ArtifactStoreTest, ListReportsKindsAndValidity) {
   EXPECT_TRUE(after->empty());
 }
 
+TEST(ArtifactStoreTest, F32DistanceMatrixRoundTripsBitExact) {
+  ArtifactStore store(FreshDir("dist32"));
+  const Matrix points = FixturePoints();
+  const uint64_t hash = HashMatrixContent(points);
+  const DistanceMatrix dm = DistanceMatrix::Compute(
+      points, Metric::kEuclidean, {}, DistanceStorage::kF32);
+
+  // SaveDistances infers the family from the matrix's storage mode.
+  ASSERT_TRUE(store.SaveDistances(hash, Metric::kEuclidean, dm).ok());
+  auto loaded =
+      store.LoadDistances(hash, Metric::kEuclidean, DistanceStorage::kF32);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->storage(), DistanceStorage::kF32);
+  ASSERT_EQ(loaded->condensed32().size(), dm.condensed32().size());
+  for (size_t i = 0; i < dm.condensed32().size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint32_t>(loaded->condensed32()[i]),
+              std::bit_cast<uint32_t>(dm.condensed32()[i]));
+  }
+}
+
+TEST(ArtifactStoreTest, MixedModeDistancesAreDisjointFamilies) {
+  const std::string dir = FreshDir("mixed-dist");
+  ArtifactStore store(dir);
+  const Matrix points = FixturePoints();
+  const uint64_t hash = HashMatrixContent(points);
+  const DistanceMatrix f64 =
+      DistanceMatrix::Compute(points, Metric::kEuclidean);
+  const DistanceMatrix f32 = DistanceMatrix::Compute(
+      points, Metric::kEuclidean, {}, DistanceStorage::kF32);
+
+  // An f64 artifact must never satisfy an f32 request (and vice versa):
+  // the whole point of the split is that a warm mixed-mode directory
+  // cannot silently change a run's numerics.
+  ASSERT_TRUE(store.SaveDistances(hash, Metric::kEuclidean, f64).ok());
+  auto miss =
+      store.LoadDistances(hash, Metric::kEuclidean, DistanceStorage::kF32);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(store.SaveDistances(hash, Metric::kEuclidean, f32).ok());
+  auto miss64_check =
+      store.LoadDistances(hash, Metric::kEuclidean, DistanceStorage::kF64);
+  ASSERT_TRUE(miss64_check.ok());  // the f64 artifact is still its own file
+  EXPECT_EQ(miss64_check->storage(), DistanceStorage::kF64);
+  auto hit32 =
+      store.LoadDistances(hash, Metric::kEuclidean, DistanceStorage::kF32);
+  ASSERT_TRUE(hit32.ok());
+  EXPECT_EQ(hit32->storage(), DistanceStorage::kF32);
+
+  // Two files, and List decodes the storage mode of each.
+  auto listed = store.List();
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 2u);
+  size_t f32_count = 0;
+  for (const ArtifactFileInfo& file : *listed) {
+    EXPECT_TRUE(file.valid) << file.filename << ": " << file.detail;
+    EXPECT_TRUE(file.storage == "f32" || file.storage == "f64");
+    if (file.storage == "f32") {
+      ++f32_count;
+      EXPECT_NE(file.filename.find("-f32.cvcp"), std::string::npos);
+      EXPECT_EQ(file.kind,
+                static_cast<uint32_t>(ArtifactKind::kDistanceMatrixF32));
+    }
+    EXPECT_FALSE(file.decoded_key.empty());
+  }
+  EXPECT_EQ(f32_count, 1u);
+}
+
+TEST(ArtifactStoreTest, OpticsStorageModesAreKeyedApart) {
+  ArtifactStore store(FreshDir("optics32"));
+  const OpticsResult optics = FixtureOptics();
+  ASSERT_TRUE(store
+                  .SaveOpticsModel(21, Metric::kEuclidean, 4, optics,
+                                   DistanceStorage::kF32)
+                  .ok());
+  // The f64 key misses even though an f32 model for the same
+  // (hash, metric, min_pts) exists.
+  auto miss = store.LoadOpticsModel(21, Metric::kEuclidean, 4);
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+  auto hit = store.LoadOpticsModel(21, Metric::kEuclidean, 4,
+                                   DistanceStorage::kF32);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  EXPECT_EQ(hit->order, optics.order);
+}
+
+TEST(ArtifactStoreTest, CrossModeRenamedOpticsIsRefused) {
+  const std::string dir = FreshDir("cross-mode");
+  ArtifactStore store(dir);
+  // Rename an f32-derived optics file onto the f64 name: the frame and
+  // CRC are intact, but the trailing storage marker must refuse the f64
+  // decode (remaining records after the arrays), and the reverse rename
+  // must fail the marker requirement. Never served, always a counted
+  // corrupt miss.
+  ASSERT_TRUE(store
+                  .SaveOpticsModel(22, Metric::kEuclidean, 4, FixtureOptics(),
+                                   DistanceStorage::kF32)
+                  .ok());
+  const std::string f32_file = OnlyFile(dir);
+  std::string f64_file = f32_file;
+  const size_t pos = f64_file.find("-f32.cvcp");
+  ASSERT_NE(pos, std::string::npos);
+  f64_file.replace(pos, 9, ".cvcp");
+  fs::rename(f32_file, f64_file);
+
+  auto as_f64 = store.LoadOpticsModel(22, Metric::kEuclidean, 4);
+  ASSERT_FALSE(as_f64.ok());
+  EXPECT_EQ(as_f64.status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(store.stats().corrupt_misses, 1u);
+
+  // Reverse direction: a genuine f64 file renamed to the f32 name.
+  fs::remove(f64_file);
+  ASSERT_TRUE(
+      store.SaveOpticsModel(22, Metric::kEuclidean, 4, FixtureOptics()).ok());
+  fs::rename(f64_file, f32_file);
+  auto as_f32 = store.LoadOpticsModel(22, Metric::kEuclidean, 4,
+                                      DistanceStorage::kF32);
+  ASSERT_FALSE(as_f32.ok());
+  EXPECT_EQ(as_f32.status().code(), StatusCode::kCorruption);
+
+  // List flags the mismatch between filename suffix and payload marker.
+  auto listed = store.List();
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 1u);
+  EXPECT_FALSE((*listed)[0].valid);
+  EXPECT_FALSE((*listed)[0].detail.empty());
+}
+
 TEST(ArtifactStoreTest, ListOnAbsentDirectoryIsEmpty) {
   ArtifactStore store(FreshDir("absent"));
   auto listed = store.List();

@@ -59,18 +59,21 @@ TEST(DistanceTest, DispatchMatchesDirectCalls) {
   EXPECT_DOUBLE_EQ(Distance(kA, kB, Metric::kCosine), CosineDistance(kA, kB));
 }
 
-// RAII guard so a failing kernel test can't leak the process-wide flag
-// into unrelated tests.
+// RAII guard so a failing kernel test can't leak the process-wide
+// default into unrelated tests. Saves and restores the policy itself
+// (not the shim's bool): restoring via SetUnrolledDistanceKernels(false)
+// would force kFixedLane and clobber an env-selected scalar-legacy
+// default when this binary runs under CVCP_DISTANCE_KERNEL.
 class UnrolledKernelGuard {
  public:
   explicit UnrolledKernelGuard(bool enabled)
-      : previous_(UnrolledDistanceKernelsEnabled()) {
+      : previous_(DefaultDistanceKernelPolicy()) {
     SetUnrolledDistanceKernels(enabled);
   }
-  ~UnrolledKernelGuard() { SetUnrolledDistanceKernels(previous_); }
+  ~UnrolledKernelGuard() { SetDefaultDistanceKernelPolicy(previous_); }
 
  private:
-  bool previous_;
+  DistanceKernelPolicy previous_;
 };
 
 TEST(DistanceKernelTest, ScalarIsTheDefault) {

@@ -1,10 +1,14 @@
 // store_inspect: command-line inspector for an artifact store directory
 // (the --store DIR the benches write). Subcommands:
 //
-//   store_inspect ls DIR      list every artifact: kind, bytes, validity
+//   store_inspect ls DIR      list every artifact: kind, storage mode
+//                             (f64/f32), bytes, validity, and the decoded
+//                             key fields (dataset hash, metric, MinPts)
 //   store_inspect verify DIR  same listing, but exit nonzero if any file
 //                             fails full frame validation (bad magic,
-//                             CRC mismatch, version skew, truncation)
+//                             CRC mismatch, version skew, truncation) or
+//                             if a filename's storage mode disagrees with
+//                             the record type in its payload
 //   store_inspect purge DIR   delete every artifact and stale temp file
 //
 // `verify` is the offline counterpart of the store's read path: a file it
@@ -41,12 +45,16 @@ int RunList(ArtifactStore& store, bool fail_on_invalid) {
   for (const ArtifactFileInfo& file : listed.value()) {
     total_bytes += file.bytes;
     if (!file.valid) ++invalid;
-    std::printf("%-9s %10llu  %-3s %s%s%s\n",
+    std::printf("%-13s %-4s %10llu  %-3s %s",
                 ArtifactKindName(static_cast<ArtifactKind>(file.kind)),
+                file.storage.empty() ? "-" : file.storage.c_str(),
                 static_cast<unsigned long long>(file.bytes),
-                file.valid ? "ok" : "BAD", file.filename.c_str(),
-                file.valid ? "" : " -- ",
-                file.valid ? "" : file.detail.c_str());
+                file.valid ? "ok" : "BAD", file.filename.c_str());
+    if (!file.decoded_key.empty()) {
+      std::printf("  [%s]", file.decoded_key.c_str());
+    }
+    if (!file.valid) std::printf(" -- %s", file.detail.c_str());
+    std::printf("\n");
   }
   std::printf("%zu artifacts, %llu bytes, %zu invalid\n",
               listed.value().size(),
