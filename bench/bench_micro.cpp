@@ -792,7 +792,7 @@ void PrintDistanceKernelTable() {
   for (size_t i = 0; f32_ok && i < tiled_f32->condensed32().size(); ++i) {
     f32_ok = std::bit_cast<uint32_t>(tiled_f32->condensed32()[i]) ==
              std::bit_cast<uint32_t>(
-                 static_cast<float>(tiled_fixed->condensed()[i]));
+                 NarrowToF32(tiled_fixed->condensed()[i]));
   }
   if (!tiled_legacy_ok || !tiled_fixed_ok || !threads_ok || !f32_ok) {
     g_determinism_ok = false;

@@ -198,7 +198,7 @@ DistanceMatrix DistanceMatrix::Compute(const Matrix& points, Metric metric,
           for (double value : values) {
             if (kernel.sqrt_after) value = std::sqrt(value);
             if (out32 != nullptr) {
-              out32[idx++] = static_cast<float>(value);
+              out32[idx++] = NarrowToF32(value);
             } else {
               out64[idx++] = value;
             }
@@ -209,7 +209,7 @@ DistanceMatrix DistanceMatrix::Compute(const Matrix& points, Metric metric,
         double value = kernel.fn(row_i, col, d);
         if (kernel.sqrt_after) value = std::sqrt(value);
         if (out32 != nullptr) {
-          out32[idx++] = static_cast<float>(value);
+          out32[idx++] = NarrowToF32(value);
         } else {
           out64[idx++] = value;
         }

@@ -12,6 +12,7 @@
 /// are bitwise-identical for any thread count, tiling, and hardware.
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -66,6 +67,28 @@ void SetUnrolledDistanceKernels(bool enabled);
 
 /// DEPRECATED shim: whether the process-default policy is `kUnrolled`.
 bool UnrolledDistanceKernelsEnabled();
+
+/// Deterministic double→float narrowing for the f32 storage mode.
+/// `static_cast<float>` of a finite double beyond float range is
+/// undefined behavior ([conv.double]), so the overflow case is made
+/// explicit: finite values at or past the IEEE round-to-nearest-even
+/// overflow threshold (0x1.ffffffp+127, halfway between FLT_MAX and
+/// 2^128) saturate to ±infinity, and everything below it narrows with
+/// the ordinary correctly-rounded cast — bit-identical to what
+/// hardware conversion produces for every input, but defined for all
+/// of them. Every f32 narrowing site must go through this helper
+/// (pinned by tests/distance_test.cc's overflow cases and the
+/// float-cast-overflow sanitizer leg of the asan-ubsan CI job).
+inline float NarrowToF32(double value) {
+  constexpr double kOverflowThreshold = 0x1.ffffffp+127;
+  if (value >= kOverflowThreshold) {
+    return std::numeric_limits<float>::infinity();
+  }
+  if (value <= -kOverflowThreshold) {
+    return -std::numeric_limits<float>::infinity();
+  }
+  return static_cast<float>(value);
+}
 
 /// Precomputed symmetric pairwise distances, condensed upper-triangular
 /// storage: n*(n-1)/2 values. Diagonal is implicitly zero. Values are

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace cvcp {
@@ -76,8 +77,12 @@ void ParallelFor(const ExecutionContext& exec, size_t n,
   struct LoopState {
     std::atomic<size_t> next{0};
     std::atomic<size_t> pending{0};  ///< pool lanes not yet finished
-    std::mutex error_mu;
-    std::exception_ptr error;  ///< first lane exception (scheduling-dep.)
+    Mutex error_mu;
+    /// First lane exception (scheduling-dependent). Written under
+    /// error_mu by racing lanes; the caller's final read is lock-free but
+    /// safe — it happens after the acquire on `pending` reaching 0, which
+    /// orders every lane's release behind it.
+    std::exception_ptr error GUARDED_BY(error_mu);
   };
   LoopState state;  // lanes hold references; all finish before we return
   state.pending.store(lanes - 1, std::memory_order_relaxed);
@@ -93,7 +98,7 @@ void ParallelFor(const ExecutionContext& exec, size_t n,
       try {
         claim_loop();
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state.error_mu);
+        MutexLock lock(&state.error_mu);
         if (!state.error) state.error = std::current_exception();
       }
       // Last touch of `state`: the release pairs with the caller's
@@ -115,6 +120,11 @@ void ParallelFor(const ExecutionContext& exec, size_t n,
   pool.HelpWhileWaiting([&state] {
     return state.pending.load(std::memory_order_acquire) == 0;
   });
+  // All lanes are done (acquire above), so the lock is uncontended; it is
+  // taken anyway because `error` is GUARDED_BY(error_mu) and the analysis
+  // is right that lock-free finalization only works under a memory-order
+  // argument it cannot check.
+  MutexLock lock(&state.error_mu);
   if (!state.error && caller_error) state.error = caller_error;
   if (state.error) std::rethrow_exception(state.error);
 }

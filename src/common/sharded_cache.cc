@@ -48,7 +48,7 @@ ShardedLruCache::ValuePtr ShardedLruCache::InsertOrGet(const std::string& key,
   std::vector<ValuePtr> graveyard;
   ValuePtr out;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // First publisher won; adopt the resident value (and refresh
@@ -70,7 +70,7 @@ ShardedLruCache::ValuePtr ShardedLruCache::InsertOrGet(const std::string& key,
 
 ShardedLruCache::ValuePtr ShardedLruCache::Lookup(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -84,7 +84,7 @@ ShardedLruCache::ValuePtr ShardedLruCache::Lookup(const std::string& key) {
 void ShardedLruCache::Erase(const std::string& key) {
   Shard& shard = ShardFor(key);
   ValuePtr doomed;  // destroyed after the lock
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return;
   shard.charge -= it->second->charge;
@@ -96,7 +96,7 @@ void ShardedLruCache::Erase(const std::string& key) {
 ShardedLruCache::Stats ShardedLruCache::stats() const {
   Stats out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     out.hits += shard->hits;
     out.misses += shard->misses;
     out.inserts += shard->inserts;

@@ -28,10 +28,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cvcp {
 
@@ -91,14 +93,15 @@ class ShardedLruCache {
   /// One stripe: its own lock, recency list (front = most recent), and
   /// key index into the list.
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;
-    std::unordered_map<std::string, std::list<Entry>::iterator> index;
-    size_t charge = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t inserts = 0;
-    uint64_t evictions = 0;
+    mutable Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);
+    std::unordered_map<std::string, std::list<Entry>::iterator> index
+        GUARDED_BY(mu);
+    size_t charge GUARDED_BY(mu) = 0;
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t inserts GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const std::string& key);
@@ -106,7 +109,8 @@ class ShardedLruCache {
   /// holds the shard lock; evicted values are destroyed *after* the lock
   /// is released (appended to `graveyard`) so a value's destructor can
   /// never run under the shard mutex.
-  void EvictIfNeeded(Shard* shard, std::vector<ValuePtr>* graveyard);
+  void EvictIfNeeded(Shard* shard, std::vector<ValuePtr>* graveyard)
+      REQUIRES(shard->mu);
 
   size_t capacity_;
   size_t per_shard_capacity_;

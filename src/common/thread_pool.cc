@@ -36,26 +36,26 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Enqueue(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     CVCP_CHECK_MSG(!stop_, "Submit on a stopped ThreadPool");
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::TryRunOneTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.back());
     queue_.pop_back();
@@ -65,34 +65,36 @@ bool ThreadPool::TryRunOneTask() {
 }
 
 void ThreadPool::HelpWhileWaiting(const std::function<bool()>& done) {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
     // The predicate is evaluated under mu_; NotifyCompletion takes mu_
     // before notifying, so a completion between this check and the wait
     // below cannot be missed.
-    if (done()) return;
+    if (done()) break;
     if (!queue_.empty()) {
       std::function<void()> task = std::move(queue_.back());
       queue_.pop_back();
-      lock.unlock();
+      mu_.Unlock();
       RunAdoptedTask(task);  // may recursively submit + HelpWhileWaiting
-      lock.lock();
+      mu_.Lock();
       continue;
     }
-    cv_.wait(lock,
-             [this, &done] { return done() || !queue_.empty() || stop_; });
+    // Inline wait loop (not a predicate lambda: the analysis treats a
+    // lambda body as a lockless separate function, see common/mutex.h).
+    while (!done() && queue_.empty() && !stop_) cv_.Wait(&mu_);
     // A stopping pool with an empty queue can make no further progress;
     // in practice loops only wait on the leaked Shared() pool, which
     // never stops.
-    if (stop_ && queue_.empty() && !done()) return;
+    if (stop_ && queue_.empty() && !done()) break;
   }
+  mu_.Unlock();
 }
 
 void ThreadPool::NotifyCompletion() {
   // Empty critical section: orders this notification after any waiter's
   // predicate check under mu_, closing the check-then-sleep race.
-  { std::lock_guard<std::mutex> lock(mu_); }
-  cv_.notify_all();
+  { MutexLock lock(&mu_); }
+  cv_.NotifyAll();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -100,8 +102,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) cv_.Wait(&mu_);
       // Drain the queue even when stopping so submitted futures complete.
       if (queue_.empty()) return;
       task = std::move(queue_.front());

@@ -25,15 +25,16 @@
 /// fan-out produces bit-identical results for any worker count, which is
 /// what lets CVCP guarantee parallel == serial output.
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace cvcp {
 
@@ -110,10 +111,13 @@ class ThreadPool {
   void Enqueue(std::function<void()> fn);
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Only written in the constructor, before any worker exists, and read
+  /// lock-free afterwards (num_threads, destructor join) — immutable for
+  /// the pool's concurrent lifetime, hence not guarded.
   std::vector<std::thread> workers_;
 };
 

@@ -122,6 +122,14 @@ struct ArtifactFileInfo {
 /// The disk tier. Thread-safe; one instance may be shared by every
 /// dataset cache, trial lane, and process (cross-process coordination is
 /// the filesystem's atomic rename).
+///
+/// Deliberately mutex-free: every mutable member is a std::atomic
+/// counter (relaxed — counters feed stats, never control flow) and all
+/// cross-thread coordination happens through the filesystem's atomic
+/// rename, so there is nothing for a `GUARDED_BY` annotation to guard
+/// and the class stays trivially deadlock-free under the
+/// help-while-waiting scheduler. Keep it that way: a mutex added here
+/// would be held across file IO on the compute hot path.
 class ArtifactStore {
  public:
   /// Uses `directory` (created on first save) for all artifacts.

@@ -87,7 +87,7 @@ std::shared_ptr<const DistanceMatrix> DatasetCache::Distances(
           memory_->InsertOrGet(key, value, charge));
       const double ms = MsSince(start);
       distance_loads_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       distance_load_ms_ += ms;
       return published;
     }
@@ -103,7 +103,7 @@ std::shared_ptr<const DistanceMatrix> DatasetCache::Distances(
       memory_->InsertOrGet(key, built, charge));
   distance_builds_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     distance_build_ms_ += ms;
   }
   // Persist only from the winning publisher, so racing builders do not
@@ -123,7 +123,7 @@ Result<std::shared_ptr<const FoscOpticsModel>> DatasetCache::FoscModel(
   }
   const std::pair<int, int> error_key{static_cast<int>(metric), min_pts};
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = model_errors_memo_.find(error_key);
     if (it != model_errors_memo_.end()) {
       model_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -145,7 +145,7 @@ Result<std::shared_ptr<const FoscOpticsModel>> DatasetCache::FoscModel(
           memory_->InsertOrGet(key, value, ModelCharge(*value)));
       const double ms = MsSince(start);
       model_loads_.fetch_add(1, std::memory_order_relaxed);
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       model_load_ms_ += ms;
       return ModelPtr(published);
     }
@@ -162,7 +162,7 @@ Result<std::shared_ptr<const FoscOpticsModel>> DatasetCache::FoscModel(
   if (!optics.ok()) {
     model_errors_.fetch_add(1, std::memory_order_relaxed);
     const double ms = MsSince(start);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     model_build_ms_ += ms;
     // First publisher wins for errors too (identical statuses anyway).
     auto [it, inserted] =
@@ -178,7 +178,7 @@ Result<std::shared_ptr<const FoscOpticsModel>> DatasetCache::FoscModel(
       memory_->InsertOrGet(key, built, ModelCharge(*built)));
   model_builds_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     model_build_ms_ += ms;
   }
   if (store_ != nullptr && published == built) {
@@ -213,7 +213,7 @@ DatasetCache::Stats DatasetCache::stats() const {
   out.model_loads = model_loads_.load(std::memory_order_relaxed);
   out.model_hits = model_hits_.load(std::memory_order_relaxed);
   out.model_errors = model_errors_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   out.distance_build_ms = distance_build_ms_;
   out.distance_load_ms = distance_load_ms_;
   out.model_build_ms = model_build_ms_;
@@ -227,7 +227,7 @@ DatasetCachePool::DatasetCachePool(size_t memory_capacity_bytes,
     : memory_(memory_capacity_bytes), store_(store), storage_(storage) {}
 
 DatasetCache* DatasetCachePool::For(const Matrix& points) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = caches_.find(&points);
   if (it == caches_.end()) {
     it = caches_
@@ -241,7 +241,7 @@ DatasetCache* DatasetCachePool::For(const Matrix& points) {
 
 DatasetCache::Stats DatasetCachePool::AggregateStats() const {
   DatasetCache::Stats out;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (const auto& [points, cache] : caches_) {
     const DatasetCache::Stats s = cache->stats();
     out.distance_builds += s.distance_builds;

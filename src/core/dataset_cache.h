@@ -58,7 +58,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -67,9 +66,11 @@
 #include "cluster/optics.h"
 #include "common/distance.h"
 #include "common/matrix.h"
+#include "common/mutex.h"
 #include "common/parallel.h"
 #include "common/sharded_cache.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/artifact_store.h"
 
 namespace cvcp {
@@ -183,8 +184,8 @@ class DatasetCache {
   // Error memo: per-dataset, unbounded (a handful of bad params at most),
   // deliberately outside the LRU so an eviction can never flip an errored
   // key back to a rebuild with different stats.
-  mutable std::mutex mu_;
-  std::map<std::pair<int, int>, Status> model_errors_memo_;
+  mutable Mutex mu_;
+  std::map<std::pair<int, int>, Status> model_errors_memo_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> distance_builds_{0};
   std::atomic<uint64_t> distance_loads_{0};
@@ -194,10 +195,10 @@ class DatasetCache {
   std::atomic<uint64_t> model_hits_{0};
   std::atomic<uint64_t> model_errors_{0};
   // Wall-time accumulators share mu_ (only touched around builds/loads).
-  double distance_build_ms_ = 0.0;
-  double distance_load_ms_ = 0.0;
-  double model_build_ms_ = 0.0;
-  double model_load_ms_ = 0.0;
+  double distance_build_ms_ GUARDED_BY(mu_) = 0.0;
+  double distance_load_ms_ GUARDED_BY(mu_) = 0.0;
+  double model_build_ms_ GUARDED_BY(mu_) = 0.0;
+  double model_load_ms_ GUARDED_BY(mu_) = 0.0;
 };
 
 /// One memory tier + one optional disk tier shared by every dataset of a
@@ -232,8 +233,9 @@ class DatasetCachePool {
   ShardedLruCache memory_;
   ArtifactStore* store_;
   DistanceStorage storage_;
-  mutable std::mutex mu_;
-  std::map<const Matrix*, std::unique_ptr<DatasetCache>> caches_;
+  mutable Mutex mu_;
+  std::map<const Matrix*, std::unique_ptr<DatasetCache>> caches_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace cvcp

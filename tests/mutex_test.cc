@@ -1,0 +1,89 @@
+#include "common/mutex.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cvcp {
+namespace {
+
+TEST(MutexTest, LockUnlockAndTryLock) {
+  Mutex mu;
+  mu.Lock();
+  // A held mutex refuses TryLock from another thread (same-thread
+  // try_lock on a held std::mutex is UB, so probe cross-thread).
+  bool acquired = true;
+  std::thread probe([&] {
+    acquired = mu.TryLock();
+    if (acquired) mu.Unlock();
+  });
+  probe.join();
+  EXPECT_FALSE(acquired);
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockGuardsCriticalSection) {
+  Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, 8000);
+}
+
+TEST(MutexTest, CondVarWaitObservesNotifiedChange) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+  {
+    mu.Lock();
+    while (!ready) cv.Wait(&mu);
+    EXPECT_TRUE(ready);
+    mu.Unlock();
+  }
+  producer.join();
+}
+
+TEST(MutexTest, CondVarNotifyOneWakesAWaiter) {
+  Mutex mu;
+  CondVar cv;
+  int stage = 0;
+  std::thread waiter([&] {
+    mu.Lock();
+    while (stage == 0) cv.Wait(&mu);
+    stage = 2;
+    mu.Unlock();
+    cv.NotifyAll();
+  });
+  {
+    MutexLock lock(&mu);
+    stage = 1;
+  }
+  cv.NotifyOne();
+  {
+    mu.Lock();
+    while (stage != 2) cv.Wait(&mu);
+    mu.Unlock();
+  }
+  waiter.join();
+  EXPECT_EQ(stage, 2);
+}
+
+}  // namespace
+}  // namespace cvcp

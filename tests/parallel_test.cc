@@ -279,6 +279,7 @@ TEST(ParallelForTest, NestedParallelForCompletesWithoutDeadlock) {
     // is itself inside an outer iteration.
     int sum = 0;
     std::mutex mu;
+    // determinism: reduction(nested-test-int-sum)
     ParallelFor(exec, 10, [&](size_t j) {
       std::lock_guard<std::mutex> lock(mu);
       sum += static_cast<int>(j);

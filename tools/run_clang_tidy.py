@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Runs clang-tidy over every first-party TU in a compile database.
+
+Thin wrapper so CI and developers invoke the same thing:
+
+    python3 tools/run_clang_tidy.py [--build-dir build] [--jobs N]
+                                    [--filter REGEX]
+
+* Reads compile_commands.json from the build dir (configure with
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON).
+* Keeps only first-party TUs (src/, bench/, tests/, tools/) — vendored
+  third-party code (e.g. a FetchContent'd googletest) is not ours to
+  lint.
+* Runs clang-tidy with the repo-root .clang-tidy profile, in parallel,
+  and exits non-zero when any TU has findings.
+* Exits 0 with a notice when clang-tidy is not installed: local trees
+  without LLVM stay usable; the CI job installs clang-tidy and is the
+  enforcement point.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIRST_PARTY = tuple(
+    os.path.join(REPO_ROOT, d) + os.sep
+    for d in ("src", "bench", "tests", "tools"))
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15"):
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_tus(build_dir, pattern):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(db_path):
+        print(f"error: {db_path} not found; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return None
+    with open(db_path, "r", encoding="utf-8") as f:
+        db = json.load(f)
+    tus = []
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        if not path.startswith(FIRST_PARTY):
+            continue
+        if pattern and not re.search(pattern, path):
+            continue
+        tus.append(path)
+    return sorted(set(tus))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="clang-tidy over first-party TUs")
+    parser.add_argument("--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--jobs", type=int,
+                        default=os.cpu_count() or 2)
+    parser.add_argument("--filter", default="",
+                        help="only TUs whose path matches this regex")
+    parser.add_argument("--clang-tidy", default="",
+                        help="explicit clang-tidy binary")
+    args = parser.parse_args()
+
+    binary = find_clang_tidy(args.clang_tidy)
+    if binary is None:
+        print("clang-tidy not found on PATH; skipping (the CI "
+              "clang-tidy job is the enforcement point)")
+        return 0
+
+    build_dir = os.path.join(REPO_ROOT, args.build_dir) \
+        if not os.path.isabs(args.build_dir) else args.build_dir
+    tus = load_tus(build_dir, args.filter)
+    if tus is None:
+        return 2
+    if not tus:
+        print("no first-party TUs matched", file=sys.stderr)
+        return 2
+
+    print(f"{binary}: {len(tus)} TU(s), {args.jobs} job(s)")
+    failed = []
+
+    def run_one(path):
+        proc = subprocess.run(
+            [binary, "-p", build_dir, "--quiet", path],
+            capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout, proc.stderr
+
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, code, out, err in pool.map(run_one, tus):
+            rel = os.path.relpath(path, REPO_ROOT)
+            if code != 0:
+                failed.append(rel)
+                sys.stdout.write(f"FAIL {rel}\n{out}\n")
+                if err.strip():
+                    sys.stdout.write(err + "\n")
+            else:
+                sys.stdout.write(f"ok   {rel}\n")
+
+    if failed:
+        print(f"\n{len(failed)} TU(s) with findings:")
+        for rel in failed:
+            print(f"  {rel}")
+        return 1
+    print("\nclean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
