@@ -1,0 +1,61 @@
+#include "common/file_io.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+
+#include "common/strings.h"
+
+namespace cvcp {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound(Format("cannot open %s", path.c_str()));
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::Corruption(Format("read of %s failed", path.c_str()));
+  }
+  return bytes;
+}
+
+Status WriteFileAtomic(const std::string& directory,
+                       const std::string& filename, std::string_view bytes,
+                       uint64_t temp_seq) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::Internal(Format("cannot create directory %s: %s",
+                                   directory.c_str(), ec.message().c_str()));
+  }
+  const fs::path final_path = fs::path(directory) / filename;
+  const fs::path temp_path =
+      fs::path(directory) /
+      Format("%s.tmp.%d.%llu", filename.c_str(), static_cast<int>(::getpid()),
+             static_cast<unsigned long long>(temp_seq));
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(bytes.data(),
+                           static_cast<std::streamsize>(bytes.size()))) {
+      fs::remove(temp_path, ec);
+      return Status::Internal(
+          Format("cannot write %s", temp_path.string().c_str()));
+    }
+  }
+  // POSIX rename is atomic within a directory: readers see the old file,
+  // the new file, or no file — never a partial one.
+  fs::rename(temp_path, final_path, ec);
+  if (ec) {
+    fs::remove(temp_path, ec);
+    return Status::Internal(Format("cannot publish %s: %s", filename.c_str(),
+                                   ec.message().c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace cvcp

@@ -1,0 +1,43 @@
+#ifndef CVCP_COMMON_FILE_IO_H_
+#define CVCP_COMMON_FILE_IO_H_
+
+/// \file
+/// The two file operations every persistent component shares: whole-file
+/// reads and crash-safe whole-file writes. Extracted from the artifact
+/// store so the service layer's result store (and any future WAL) uses
+/// the identical discipline instead of reimplementing it:
+///
+///   * `ReadFileToString` — one read, classified: kNotFound when the
+///     file does not exist (a cold key, not an error) vs kCorruption
+///     when it exists but cannot be read completely.
+///   * `WriteFileAtomic` — serialize to `<name>.tmp.<pid>.<seq>` in the
+///     same directory, then atomically rename over the final name.
+///     POSIX rename is atomic within a directory, so readers only ever
+///     see the old complete file, the new complete file, or no file —
+///     never partial bytes. Concurrent same-key writers last-write-win,
+///     which is safe exactly when the bytes are a deterministic function
+///     of the name (the invariant every store in this tree maintains).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace cvcp {
+
+/// Reads the whole file at `path`. kNotFound when it cannot be opened,
+/// kCorruption when a read fails midway.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically publishes `bytes` as `directory/filename` (creating
+/// `directory` if needed) via a tmp file + rename. `temp_seq` must be
+/// unique among concurrent writers in this process (callers keep an
+/// atomic counter); the pid disambiguates across processes.
+Status WriteFileAtomic(const std::string& directory,
+                       const std::string& filename, std::string_view bytes,
+                       uint64_t temp_seq);
+
+}  // namespace cvcp
+
+#endif  // CVCP_COMMON_FILE_IO_H_

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Infeasible";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
     case StatusCode::kUnimplemented:

@@ -24,6 +24,7 @@ enum class StatusCode {
   kInconsistentConstraints,  ///< must-link and cannot-link contradict
   kInfeasible,               ///< no solution exists (e.g. COP-KMeans dead end)
   kCorruption,               ///< stored bytes fail validation (CRC, framing)
+  kResourceExhausted,        ///< admission control says try later (backpressure)
   kInternal,
   kUnimplemented,
 };
@@ -62,6 +63,9 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

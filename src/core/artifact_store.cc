@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/block_format.h"
+#include "common/file_io.h"
 #include "common/hash.h"
 #include "common/strings.h"
 
@@ -393,51 +394,25 @@ Status ArtifactStore::ClassifyMiss(Status status) {
 
 Result<std::string> ArtifactStore::ReadFile(const std::string& filename) {
   const fs::path path = fs::path(directory_) / filename;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound(Format("no artifact %s", filename.c_str()));
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (in.bad()) {
-    return Status::Corruption(Format("read of %s failed", filename.c_str()));
+  Result<std::string> bytes = ReadFileToString(path.string());
+  if (!bytes.ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound) {
+      return Status::NotFound(Format("no artifact %s", filename.c_str()));
+    }
+    return bytes.status();
   }
-  bytes_read_.fetch_add(bytes.size(), std::memory_order_relaxed);
+  bytes_read_.fetch_add(bytes->size(), std::memory_order_relaxed);
   return bytes;
 }
 
 Status ArtifactStore::WriteFileAtomic(const std::string& filename,
                                       const std::string& bytes) {
-  std::error_code ec;
-  fs::create_directories(directory_, ec);
-  if (ec) {
-    write_errors_.fetch_add(1, std::memory_order_relaxed);
-    return Status::Internal(Format("cannot create store directory %s: %s",
-                                   directory_.c_str(),
-                                   ec.message().c_str()));
-  }
   const uint64_t seq = temp_seq_.fetch_add(1, std::memory_order_relaxed);
-  const fs::path final_path = fs::path(directory_) / filename;
-  const fs::path temp_path =
-      fs::path(directory_) /
-      Format("%s.tmp.%d.%llu", filename.c_str(), static_cast<int>(::getpid()),
-             static_cast<unsigned long long>(seq));
-  {
-    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-    if (!out || !out.write(bytes.data(),
-                           static_cast<std::streamsize>(bytes.size()))) {
-      write_errors_.fetch_add(1, std::memory_order_relaxed);
-      fs::remove(temp_path, ec);
-      return Status::Internal(
-          Format("cannot write %s", temp_path.string().c_str()));
-    }
-  }
-  // POSIX rename is atomic within a directory: readers see the old file,
-  // the new file, or no file — never a partial one.
-  fs::rename(temp_path, final_path, ec);
-  if (ec) {
+  const Status written =
+      cvcp::WriteFileAtomic(directory_, filename, bytes, seq);
+  if (!written.ok()) {
     write_errors_.fetch_add(1, std::memory_order_relaxed);
-    fs::remove(temp_path, ec);
-    return Status::Internal(Format("cannot publish %s: %s", filename.c_str(),
-                                   ec.message().c_str()));
+    return written;
   }
   writes_.fetch_add(1, std::memory_order_relaxed);
   bytes_written_.fetch_add(bytes.size(), std::memory_order_relaxed);

@@ -1,0 +1,105 @@
+#include "service/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace cvcp {
+
+Result<Client> Client::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        Format("socket path too long (%zu bytes)", socket_path.size()));
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(
+        Format("socket() failed: %s", std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status status = Status::NotFound(
+        Format("cannot connect to %s: %s", socket_path.c_str(),
+               std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<std::string> Client::RoundTrip(const std::string& request) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  CVCP_RETURN_IF_ERROR(WriteFrame(fd_, request));
+  CVCP_ASSIGN_OR_RETURN(std::string reply, ReadFrame(fd_));
+  CVCP_ASSIGN_OR_RETURN(MessageKind kind, PeekMessageKind(reply));
+  if (kind == MessageKind::kErrorReply) {
+    CVCP_ASSIGN_OR_RETURN(ErrorReply error, DecodeErrorReply(std::move(reply)));
+    return error.status;
+  }
+  return reply;
+}
+
+Result<SubmitReply> Client::Submit(const JobSpec& spec) {
+  CVCP_ASSIGN_OR_RETURN(std::string reply,
+                        RoundTrip(EncodeSubmitRequest(SubmitRequest{spec})));
+  return DecodeSubmitReply(std::move(reply));
+}
+
+Result<ReportReply> Client::Wait(uint64_t job_id) {
+  CVCP_ASSIGN_OR_RETURN(std::string reply,
+                        RoundTrip(EncodeWaitRequest(WaitRequest{job_id})));
+  return DecodeReportReply(std::move(reply));
+}
+
+Result<ReportReply> Client::Fetch(uint64_t job_id) {
+  CVCP_ASSIGN_OR_RETURN(std::string reply,
+                        RoundTrip(EncodeFetchRequest(FetchRequest{job_id})));
+  return DecodeReportReply(std::move(reply));
+}
+
+Result<std::vector<uint64_t>> Client::Versions(uint64_t spec_hash) {
+  CVCP_ASSIGN_OR_RETURN(
+      std::string reply,
+      RoundTrip(EncodeVersionsRequest(VersionsRequest{spec_hash})));
+  CVCP_ASSIGN_OR_RETURN(VersionsReply decoded,
+                        DecodeVersionsReply(std::move(reply)));
+  return std::move(decoded.job_ids);
+}
+
+Result<StatsReply> Client::Stats() {
+  CVCP_ASSIGN_OR_RETURN(std::string reply, RoundTrip(EncodeStatsRequest()));
+  return DecodeStatsReply(std::move(reply));
+}
+
+Status Client::Shutdown() {
+  Result<std::string> reply = RoundTrip(EncodeShutdownRequest());
+  if (!reply.ok()) return reply.status();
+  return DecodeShutdownReply(std::move(reply).value()).status();
+}
+
+}  // namespace cvcp

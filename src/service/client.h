@@ -1,0 +1,65 @@
+#ifndef CVCP_SERVICE_CLIENT_H_
+#define CVCP_SERVICE_CLIENT_H_
+
+/// \file
+/// Blocking client for the cvcp_serve protocol: one AF_UNIX connection,
+/// strict request/reply. Every method sends one frame and decodes one
+/// reply; a kErrorReply from the server surfaces as that reply's Status
+/// (so a backpressure rejection arrives as kResourceExhausted, a damaged
+/// record as kCorruption — the server's classification crosses the wire
+/// intact). Not thread-safe: one Client per session; open several for
+/// concurrency (the determinism tests do).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/protocol.h"
+
+namespace cvcp {
+
+class Client {
+ public:
+  /// Connects to a serving socket. kNotFound/kInternal when nothing
+  /// listens there.
+  static Result<Client> Connect(const std::string& socket_path);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Submits a job. The reply's (job_id, version) are assigned at
+  /// admission; kResourceExhausted is the server saying "retry later".
+  Result<SubmitReply> Submit(const JobSpec& spec);
+
+  /// Blocks until the job completes, then returns its stored report.
+  Result<ReportReply> Wait(uint64_t job_id);
+
+  /// Fetches an already-completed job's stored report (any prior
+  /// version, including ones from before a server restart).
+  Result<ReportReply> Fetch(uint64_t job_id);
+
+  /// Job ids of every stored version of the spec hash, chain order.
+  Result<std::vector<uint64_t>> Versions(uint64_t spec_hash);
+
+  Result<StatsReply> Stats();
+
+  /// Asks the server to shut down cleanly (it drains the queue first).
+  Status Shutdown();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// One request frame out, one reply frame in; a kErrorReply decodes to
+  /// its carried Status here so every caller sees it uniformly.
+  Result<std::string> RoundTrip(const std::string& request);
+
+  int fd_ = -1;
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_SERVICE_CLIENT_H_

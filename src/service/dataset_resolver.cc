@@ -1,0 +1,63 @@
+#include "service/dataset_resolver.h"
+
+#include <utility>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "data/generators.h"
+#include "data/iris.h"
+#include "data/paper_suites.h"
+
+namespace cvcp {
+
+namespace {
+
+/// Builds the named dataset. Pure function of (name, seed, index).
+Result<Dataset> BuildDataset(const std::string& name, uint64_t seed,
+                             uint64_t index) {
+  if (name == "iris") return MakeIris();
+  if (name == "wine") return MakeWineLike(seed);
+  if (name == "ionosphere") return MakeIonosphereLike(seed);
+  if (name == "ecoli") return MakeEcoliLike(seed);
+  if (name == "zyeast") return MakeZyeastLike(seed);
+  if (name == "aloi") return MakeAloiK5Like(seed, index);
+  if (name == "blobs") {
+    Rng rng(seed);
+    return MakeBlobs("blobs", /*k=*/3, /*per_cluster=*/40, /*dims=*/4,
+                     /*separation=*/12.0, /*spread=*/1.0, &rng);
+  }
+  if (name == "moons") {
+    Rng rng(seed);
+    return MakeTwoMoons("moons", /*per_moon=*/60, /*noise=*/0.06, &rng);
+  }
+  return Status::InvalidArgument(
+      Format("unknown dataset \"%s\"", name.c_str()));
+}
+
+}  // namespace
+
+std::vector<std::string> KnownDatasetNames() {
+  return {"iris",   "wine",  "ionosphere", "ecoli",
+          "zyeast", "aloi",  "blobs",      "moons"};
+}
+
+Result<const Dataset*> DatasetResolver::Resolve(const JobSpec& spec) {
+  const Key key(spec.dataset, spec.dataset_seed, spec.dataset_index);
+  {
+    MutexLock lock(&mu_);
+    auto it = datasets_.find(key);
+    if (it != datasets_.end()) return it->second.get();
+  }
+  // Build outside the lock (generators can be sizeable); on a first-touch
+  // race the first inserter wins and the loser's copy — bitwise identical,
+  // the build is deterministic — is discarded.
+  CVCP_ASSIGN_OR_RETURN(
+      Dataset built,
+      BuildDataset(spec.dataset, spec.dataset_seed, spec.dataset_index));
+  auto owned = std::make_unique<Dataset>(std::move(built));
+  MutexLock lock(&mu_);
+  auto [it, inserted] = datasets_.try_emplace(key, std::move(owned));
+  return it->second.get();
+}
+
+}  // namespace cvcp

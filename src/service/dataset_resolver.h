@@ -1,0 +1,58 @@
+#ifndef CVCP_SERVICE_DATASET_RESOLVER_H_
+#define CVCP_SERVICE_DATASET_RESOLVER_H_
+
+/// \file
+/// Maps a JobSpec's dataset reference (name + seed + index) to a concrete
+/// `Dataset`, memoized for the server's lifetime. The memo is not an
+/// optimization knob: the compute-cache pool (DatasetCachePool) keys its
+/// per-dataset front-ends by Matrix *address*, so every job that names the
+/// same dataset must receive the same Dataset instance — and every
+/// resolved dataset must stay alive (at a stable address) for as long as
+/// the pool does. The resolver owns its datasets behind unique_ptrs and
+/// never evicts.
+///
+/// Resolution is deterministic: the same (name, seed, index) triple
+/// produces a bitwise-identical point set in any process, which is what
+/// makes a job re-runnable after a server restart.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/dataset.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/job.h"
+
+namespace cvcp {
+
+/// The dataset names a JobSpec may reference.
+std::vector<std::string> KnownDatasetNames();
+
+/// Thread-safe memoizing resolver. One per server.
+class DatasetResolver {
+ public:
+  DatasetResolver() = default;
+
+  DatasetResolver(const DatasetResolver&) = delete;
+  DatasetResolver& operator=(const DatasetResolver&) = delete;
+
+  /// The dataset for `spec`'s (dataset, dataset_seed, dataset_index),
+  /// built on first use and owned by the resolver (stable address for
+  /// the server's lifetime). kInvalidArgument for unknown names.
+  Result<const Dataset*> Resolve(const JobSpec& spec);
+
+ private:
+  using Key = std::tuple<std::string, uint64_t, uint64_t>;
+
+  mutable Mutex mu_;
+  std::map<Key, std::unique_ptr<Dataset>> datasets_ GUARDED_BY(mu_);
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_SERVICE_DATASET_RESOLVER_H_

@@ -1,0 +1,383 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace cvcp {
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), results_(config_.results_dir) {
+  if (!config_.store_dir.empty()) {
+    artifacts_ = std::make_unique<ArtifactStore>(config_.store_dir);
+  }
+  cache_pool_ = std::make_unique<DatasetCachePool>(
+      config_.cache_capacity_bytes, artifacts_.get());
+}
+
+Server::~Server() { Stop(/*drain=*/false); }
+
+Status Server::Start() {
+  CVCP_RETURN_IF_ERROR(results_.Recover());
+  {
+    // Every recovered record is a fetchable done job in this life too.
+    MutexLock lock(&mu_);
+    for (uint64_t job_id : results_.AllJobIds()) {
+      jobs_[job_id] = Phase::kDone;
+    }
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        Format("socket path too long (%zu bytes, max %zu)",
+               config_.socket_path.size(), sizeof(addr.sun_path) - 1));
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(
+        Format("socket() failed: %s", std::strerror(errno)));
+  }
+  ::unlink(config_.socket_path.c_str());  // stale socket from a dead server
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = Status::Internal(Format(
+        "bind(%s) failed: %s", config_.socket_path.c_str(),
+        std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status status =
+        Status::Internal(Format("listen() failed: %s", std::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  started_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  const int batch = config_.batch > 0 ? config_.batch : 1;
+  executor_threads_.reserve(static_cast<size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    executor_threads_.emplace_back([this] { ExecutorLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::Stop(bool drain) {
+  if (!started_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    MutexLock lock(&mu_);
+    stopping_ = true;
+    drain_ = drain;
+    if (!drain) {
+      // The simulated kill: abandon queued jobs where they stand. Their
+      // phases stay kQueued — never run, never stored, re-runnable.
+      for (const QueuedJob& job : queue_) inflight_bytes_ -= job.charge;
+      queue_.clear();
+    }
+  }
+  queue_cv_.NotifyAll();
+  done_cv_.NotifyAll();
+
+  // Unblock accept(), then the executors, then every connection read.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : executor_threads_) {
+    if (t.joinable()) t.join();
+  }
+  executor_threads_.clear();
+
+  std::vector<std::thread> conn_threads;
+  {
+    MutexLock lock(&conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    conn_threads.swap(conn_threads_);
+  }
+  for (std::thread& t : conn_threads) {
+    if (t.joinable()) t.join();
+  }
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(config_.socket_path.c_str());
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down by Stop (or a fatal error)
+    }
+    MutexLock lock(&conn_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+}
+
+void Server::ConnectionLoop(int fd) {
+  for (;;) {
+    Result<std::string> frame = ReadFrame(fd);
+    if (!frame.ok()) {
+      // kNotFound = the client hung up cleanly; anything else, the
+      // stream is unusable — either way the session is over.
+      break;
+    }
+    const std::string reply = HandleFrame(std::move(frame).value());
+    if (!WriteFrame(fd, reply).ok()) break;
+  }
+  {
+    MutexLock lock(&conn_mu_);
+    std::erase(conn_fds_, fd);
+  }
+  ::close(fd);
+}
+
+std::string Server::HandleFrame(std::string payload) {
+  Result<MessageKind> kind = PeekMessageKind(payload);
+  if (!kind.ok()) return EncodeErrorReply(ErrorReply{kind.status()});
+
+  switch (kind.value()) {
+    case MessageKind::kSubmitRequest: {
+      Result<SubmitRequest> request = DecodeSubmitRequest(std::move(payload));
+      if (!request.ok()) return EncodeErrorReply(ErrorReply{request.status()});
+      Result<SubmitReply> reply = HandleSubmit(request->spec);
+      if (!reply.ok()) return EncodeErrorReply(ErrorReply{reply.status()});
+      return EncodeSubmitReply(reply.value());
+    }
+    case MessageKind::kWaitRequest: {
+      Result<WaitRequest> request = DecodeWaitRequest(std::move(payload));
+      if (!request.ok()) return EncodeErrorReply(ErrorReply{request.status()});
+      Phase phase = Phase::kQueued;
+      Status failure;
+      Status await = AwaitJob(request->job_id, &phase, &failure);
+      if (!await.ok()) return EncodeErrorReply(ErrorReply{await});
+      if (phase == Phase::kFailed) return EncodeErrorReply(ErrorReply{failure});
+      Result<StoredResult> record = results_.Get(request->job_id);
+      if (!record.ok()) return EncodeErrorReply(ErrorReply{record.status()});
+      return EncodeReportReply(ReportReply{record->job_id, record->version,
+                                           record->spec_hash,
+                                           std::move(record->report_bytes)});
+    }
+    case MessageKind::kFetchRequest: {
+      Result<FetchRequest> request = DecodeFetchRequest(std::move(payload));
+      if (!request.ok()) return EncodeErrorReply(ErrorReply{request.status()});
+      Result<StoredResult> record = results_.Get(request->job_id);
+      if (!record.ok()) {
+        MutexLock lock(&mu_);
+        auto it = jobs_.find(request->job_id);
+        if (it != jobs_.end() && (it->second == Phase::kQueued ||
+                                  it->second == Phase::kRunning)) {
+          return EncodeErrorReply(ErrorReply{Status::FailedPrecondition(
+              Format("job %llu not complete; wait for it",
+                     static_cast<unsigned long long>(request->job_id)))});
+        }
+        return EncodeErrorReply(ErrorReply{record.status()});
+      }
+      return EncodeReportReply(ReportReply{record->job_id, record->version,
+                                           record->spec_hash,
+                                           std::move(record->report_bytes)});
+    }
+    case MessageKind::kVersionsRequest: {
+      Result<VersionsRequest> request =
+          DecodeVersionsRequest(std::move(payload));
+      if (!request.ok()) return EncodeErrorReply(ErrorReply{request.status()});
+      VersionsReply reply;
+      reply.job_ids = results_.Versions(request->spec_hash);
+      return EncodeVersionsReply(reply);
+    }
+    case MessageKind::kStatsRequest: {
+      Result<StatsRequest> request = DecodeStatsRequest(std::move(payload));
+      if (!request.ok()) return EncodeErrorReply(ErrorReply{request.status()});
+      return EncodeStatsReply(Stats());
+    }
+    case MessageKind::kShutdownRequest: {
+      Result<ShutdownRequest> request =
+          DecodeShutdownRequest(std::move(payload));
+      if (!request.ok()) return EncodeErrorReply(ErrorReply{request.status()});
+      shutdown_requested_.store(true, std::memory_order_release);
+      return EncodeShutdownReply();
+    }
+    case MessageKind::kSubmitReply:
+    case MessageKind::kReportReply:
+    case MessageKind::kVersionsReply:
+    case MessageKind::kStatsReply:
+    case MessageKind::kShutdownReply:
+    case MessageKind::kErrorReply:
+      break;
+  }
+  return EncodeErrorReply(ErrorReply{Status::InvalidArgument(
+      "reply message kind sent as a request")});
+}
+
+Result<SubmitReply> Server::HandleSubmit(const JobSpec& spec) {
+  CVCP_RETURN_IF_ERROR(ValidateJobSpec(spec));
+  // Resolving up front both validates the dataset reference and gives the
+  // admission controller the object count to charge for.
+  CVCP_ASSIGN_OR_RETURN(const Dataset* data, resolver_.Resolve(spec));
+  const uint64_t charge =
+      EstimateJobBytes(data->size(), spec.param_grid.size());
+
+  QueuedJob job;
+  job.spec = spec;
+  job.spec_hash = JobSpecHash(spec);
+  job.charge = charge;
+  {
+    MutexLock lock(&mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("server is shutting down");
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      ++rejected_queue_full_;
+      return Status::ResourceExhausted(
+          Format("queue full (%zu jobs); retry later",
+                 config_.queue_capacity));
+    }
+    if (inflight_bytes_ + charge > config_.memory_limit_bytes) {
+      ++rejected_memory_;
+      return Status::ResourceExhausted(Format(
+          "in-flight memory %llu + %llu exceeds limit %llu; retry later",
+          static_cast<unsigned long long>(inflight_bytes_),
+          static_cast<unsigned long long>(charge),
+          static_cast<unsigned long long>(config_.memory_limit_bytes)));
+    }
+    job.job_id = results_.AllocateJobId();
+    job.version = results_.AllocateVersion(job.spec_hash);
+    inflight_bytes_ += charge;
+    ++accepted_;
+    jobs_[job.job_id] = Phase::kQueued;
+    queue_.push_back(job);
+  }
+  queue_cv_.NotifyOne();
+  return SubmitReply{job.job_id, job.version, job.spec_hash};
+}
+
+Status Server::AwaitJob(uint64_t job_id, Phase* phase, Status* failure) {
+  MutexLock lock(&mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound(Format(
+        "unknown job %llu", static_cast<unsigned long long>(job_id)));
+  }
+  while (it->second == Phase::kQueued || it->second == Phase::kRunning) {
+    if (stopping_ && !drain_) {
+      return Status::FailedPrecondition("server stopped before completion");
+    }
+    done_cv_.Wait(&mu_);
+    it = jobs_.find(job_id);
+    CVCP_CHECK(it != jobs_.end());
+  }
+  *phase = it->second;
+  if (it->second == Phase::kFailed) *failure = failures_.at(job_id);
+  return Status::OK();
+}
+
+bool Server::PopJob(QueuedJob* job) {
+  MutexLock lock(&mu_);
+  while (queue_.empty() && !stopping_) queue_cv_.Wait(&mu_);
+  if (queue_.empty()) return false;  // stopping with nothing left (or !drain)
+  *job = std::move(queue_.front());
+  queue_.pop_front();
+  jobs_[job->job_id] = Phase::kRunning;
+  ++running_;
+  return true;
+}
+
+void Server::ExecutorLoop() {
+  QueuedJob job;
+  while (PopJob(&job)) RunOneJob(job);
+}
+
+void Server::RunOneJob(const QueuedJob& job) {
+  if (config_.before_job_hook) config_.before_job_hook(job.spec);
+
+  Status failure;
+  bool ok = false;
+  Result<const Dataset*> data = resolver_.Resolve(job.spec);
+  if (!data.ok()) {
+    failure = data.status();
+  } else {
+    JobContext context;
+    context.cache = cache_pool_->For((*data)->points());
+    context.exec.threads = config_.threads;
+    Result<CvcpReport> report = RunJob(**data, job.spec, context);
+    if (!report.ok()) {
+      failure = report.status();
+    } else {
+      StoredResult record;
+      record.job_id = job.job_id;
+      record.version = job.version;
+      record.spec_hash = job.spec_hash;
+      record.spec_bytes = EncodeJobSpec(job.spec);
+      record.report_bytes = EncodeCvcpReport(report.value());
+      // Publish before marking done: a waiter woken by done_cv_ must find
+      // the record, and a crash after this line leaves a complete file.
+      failure = results_.Put(record);
+      ok = failure.ok();
+    }
+  }
+
+  {
+    MutexLock lock(&mu_);
+    inflight_bytes_ -= job.charge;
+    --running_;
+    if (ok) {
+      jobs_[job.job_id] = Phase::kDone;
+      ++completed_;
+    } else {
+      jobs_[job.job_id] = Phase::kFailed;
+      failures_[job.job_id] = std::move(failure);
+      ++failed_;
+    }
+  }
+  done_cv_.NotifyAll();
+}
+
+StatsReply Server::Stats() const {
+  StatsReply stats;
+  {
+    MutexLock lock(&mu_);
+    stats.queue_depth = queue_.size();
+    stats.running = running_;
+    stats.accepted = accepted_;
+    stats.rejected_queue_full = rejected_queue_full_;
+    stats.rejected_memory = rejected_memory_;
+    stats.completed = completed_;
+    stats.failed = failed_;
+    stats.inflight_bytes = inflight_bytes_;
+  }
+  const DatasetCache::Stats cache = cache_pool_->AggregateStats();
+  stats.distance_builds = cache.distance_builds;
+  stats.distance_loads = cache.distance_loads;
+  stats.distance_hits = cache.distance_hits;
+  stats.model_builds = cache.model_builds;
+  stats.model_loads = cache.model_loads;
+  stats.model_hits = cache.model_hits;
+  if (artifacts_) {
+    const ArtifactStore::Stats disk = artifacts_->stats();
+    stats.disk_hits = disk.disk_hits;
+    stats.disk_misses = disk.disk_misses;
+  }
+  const ResultStore::Stats results = results_.stats();
+  stats.results_recovered = results.recovered;
+  stats.results_corrupt = results.corrupt;
+  stats.results_stored = results.stored;
+  return stats;
+}
+
+}  // namespace cvcp

@@ -1,0 +1,220 @@
+// End-to-end determinism of the service layer: the report a client gets
+// back from cvcp_serve must be byte-identical to a direct in-process
+// RunJob of the same spec — for every server thread width, executor
+// batch, client concurrency, and cache temperature. This is the ISSUE's
+// acceptance gate: the server adds queueing, batching, caching, and a
+// wire protocol, and none of it may perturb a single byte.
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/job.h"
+#include "service/client.h"
+#include "service/dataset_resolver.h"
+#include "service/server.h"
+#include "tests/service_test_util.h"
+
+namespace cvcp {
+namespace {
+
+/// The direct (no server) encoding of a spec's report — the byte string
+/// every served reply is compared against.
+std::string DirectBytes(const JobSpec& spec, int threads) {
+  DatasetResolver resolver;
+  auto data = resolver.Resolve(spec);
+  CVCP_CHECK(data.ok());
+  JobContext context;
+  context.exec.threads = threads;
+  auto report = RunJob(**data, spec, context);
+  CVCP_CHECK(report.ok());
+  return EncodeCvcpReport(report.value());
+}
+
+/// Submit + wait over a fresh connection; returns the stored report
+/// bytes exactly as the server sent them.
+std::string SubmitAndWait(const std::string& socket, const JobSpec& spec) {
+  auto client = Client::Connect(socket);
+  CVCP_CHECK(client.ok());
+  auto submitted = client->Submit(spec);
+  CVCP_CHECK(submitted.ok());
+  auto reply = client->Wait(submitted->job_id);
+  CVCP_CHECK(reply.ok());
+  return reply->report_bytes;
+}
+
+TEST(ServiceDeterminismTest, ServedMatchesDirectAcrossThreadWidths) {
+  const JobSpec spec = SmallJobSpec();
+  const std::string direct = DirectBytes(spec, /*threads=*/1);
+  // The direct baseline itself must be width-independent.
+  EXPECT_EQ(DirectBytes(spec, /*threads=*/2), direct);
+
+  for (int threads : {1, 2, 8}) {
+    ServiceScratch scratch = MakeServiceScratch();
+    ServerConfig config = ScratchServerConfig(scratch);
+    config.threads = threads;
+    Server server(config);
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_EQ(SubmitAndWait(scratch.socket, spec), direct)
+        << "server threads=" << threads;
+    server.Stop(/*drain=*/true);
+  }
+}
+
+TEST(ServiceDeterminismTest, FourConcurrentClientsAllMatchDirect) {
+  const JobSpec spec = SmallJobSpec();
+  const std::string direct = DirectBytes(spec, /*threads=*/0);
+
+  ServiceScratch scratch = MakeServiceScratch();
+  ServerConfig config = ScratchServerConfig(scratch);
+  config.batch = 2;
+  Server server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  std::vector<std::string> replies(kClients);
+  std::vector<std::thread> sessions;
+  sessions.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    sessions.emplace_back([&, c] {
+      // Vary only the per-client connection, never the spec: all four
+      // race through the shared cache pool and must agree anyway.
+      replies[static_cast<size_t>(c)] =
+          SubmitAndWait(scratch.socket, spec);
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(replies[static_cast<size_t>(c)], direct) << "client " << c;
+  }
+
+  // Four admissions of the same spec = versions 1..4 on one chain.
+  auto client = Client::Connect(scratch.socket);
+  ASSERT_TRUE(client.ok());
+  auto versions = client->Versions(JobSpecHash(spec));
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->size(), 4u);
+  server.Stop(/*drain=*/true);
+}
+
+TEST(ServiceDeterminismTest, WarmArtifactStoreServesModelsWithoutRebuilds) {
+  const JobSpec spec = SmallJobSpec();
+  const std::string direct = DirectBytes(spec, /*threads=*/0);
+  ServiceScratch scratch = MakeServiceScratch();
+
+  // First server: cold caches, must build models.
+  {
+    Server server(ScratchServerConfig(scratch));
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_EQ(SubmitAndWait(scratch.socket, spec), direct);
+    const StatsReply stats = server.Stats();
+    EXPECT_GT(stats.model_builds, 0u);
+    EXPECT_EQ(stats.completed, 1u);
+    server.Stop(/*drain=*/true);
+  }
+
+  // Second server over the same store: every model comes off disk.
+  {
+    Server server(ScratchServerConfig(scratch));
+    ASSERT_TRUE(server.Start().ok());
+    EXPECT_EQ(SubmitAndWait(scratch.socket, spec), direct);
+    const StatsReply stats = server.Stats();
+    EXPECT_EQ(stats.model_builds, 0u)
+        << "warm acceptance: the second submission must not rebuild";
+    EXPECT_GT(stats.model_loads, 0u);
+    server.Stop(/*drain=*/true);
+  }
+}
+
+TEST(ServiceDeterminismTest, InMemoryWarmResubmissionMatchesAndSkipsBuilds) {
+  const JobSpec spec = SmallJobSpec();
+  const std::string direct = DirectBytes(spec, /*threads=*/0);
+  ServiceScratch scratch = MakeServiceScratch();
+  ServerConfig config = ScratchServerConfig(scratch);
+  config.store_dir.clear();  // memory tier only
+  Server server(config);
+  ASSERT_TRUE(server.Start().ok());
+
+  EXPECT_EQ(SubmitAndWait(scratch.socket, spec), direct);
+  const StatsReply cold = server.Stats();
+  EXPECT_EQ(SubmitAndWait(scratch.socket, spec), direct);
+  const StatsReply warm = server.Stats();
+  EXPECT_EQ(warm.model_builds, cold.model_builds)
+      << "resubmission must be served from the memory cache";
+  EXPECT_GT(warm.model_hits, cold.model_hits);
+  server.Stop(/*drain=*/true);
+}
+
+TEST(ServiceDeterminismTest, VersionChainsAndFetchOfOlderVersions) {
+  const JobSpec spec = SmallJobSpec();
+  JobSpec other = spec;
+  other.cvcp_seed = 99;
+
+  ServiceScratch scratch = MakeServiceScratch();
+  Server server(ScratchServerConfig(scratch));
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::Connect(scratch.socket);
+  ASSERT_TRUE(client.ok());
+
+  auto first = client->Submit(spec);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->version, 1u);
+  auto first_reply = client->Wait(first->job_id);
+  ASSERT_TRUE(first_reply.ok());
+
+  auto second = client->Submit(spec);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->version, 2u) << "same spec → next version on the chain";
+  EXPECT_EQ(second->spec_hash, first->spec_hash);
+  auto second_reply = client->Wait(second->job_id);
+  ASSERT_TRUE(second_reply.ok());
+
+  auto unrelated = client->Submit(other);
+  ASSERT_TRUE(unrelated.ok());
+  EXPECT_EQ(unrelated->version, 1u) << "different spec → its own chain";
+  EXPECT_NE(unrelated->spec_hash, first->spec_hash);
+  ASSERT_TRUE(client->Wait(unrelated->job_id).ok());
+
+  auto versions = client->Versions(first->spec_hash);
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions->size(), 2u);
+  EXPECT_EQ((*versions)[0], first->job_id);
+  EXPECT_EQ((*versions)[1], second->job_id);
+
+  // Any prior version is still fetchable, byte-identical to when it was
+  // stored (and to every sibling on the chain — same spec, same bytes).
+  auto refetched = client->Fetch(first->job_id);
+  ASSERT_TRUE(refetched.ok());
+  EXPECT_EQ(refetched->report_bytes, first_reply->report_bytes);
+  EXPECT_EQ(refetched->report_bytes, second_reply->report_bytes);
+  EXPECT_EQ(refetched->version, 1u);
+
+  auto missing = client->Fetch(999999);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  server.Stop(/*drain=*/true);
+}
+
+TEST(ServiceDeterminismTest, LabelScenarioAndOtherClusterersMatchDirect) {
+  // A second spec shape through the full stack: Scenario I (labels) with
+  // the partitional clusterer, so the service determinism contract is
+  // pinned on both supervision paths.
+  JobSpec spec = SmallJobSpec();
+  spec.clusterer = "mpck";
+  spec.scenario = SupervisionKind::kLabels;
+  spec.param_grid = {2, 3};
+  const std::string direct = DirectBytes(spec, /*threads=*/0);
+
+  ServiceScratch scratch = MakeServiceScratch();
+  Server server(ScratchServerConfig(scratch));
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(SubmitAndWait(scratch.socket, spec), direct);
+  server.Stop(/*drain=*/true);
+}
+
+}  // namespace
+}  // namespace cvcp

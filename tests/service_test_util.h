@@ -1,0 +1,100 @@
+#ifndef CVCP_TESTS_SERVICE_TEST_UTIL_H_
+#define CVCP_TESTS_SERVICE_TEST_UTIL_H_
+
+// Shared fixtures for the Service* suites: a scratch directory tree with
+// a *short* socket path (AF_UNIX caps sun_path around 108 bytes, so the
+// gtest scratch dir — which nests deeply under some runners — is unsafe;
+// mkdtemp under /tmp is not), a small fast job spec, and a Gate that
+// parks executor threads deterministically through the server's
+// before_job_hook (no sleeps — the admission and fault tests control
+// exactly when a job may proceed).
+
+#include <stdlib.h>
+
+#include <string>
+
+#include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "core/job.h"
+#include "service/server.h"
+
+namespace cvcp {
+
+struct ServiceScratch {
+  std::string base;
+  std::string socket;
+  std::string results;
+  std::string store;
+};
+
+inline ServiceScratch MakeServiceScratch() {
+  char tmpl[] = "/tmp/cvcp_svc.XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  CVCP_CHECK(dir != nullptr);
+  ServiceScratch scratch;
+  scratch.base = dir;
+  scratch.socket = scratch.base + "/sock";
+  scratch.results = scratch.base + "/results";
+  scratch.store = scratch.base + "/store";
+  return scratch;
+}
+
+/// A small job that exercises the full pipeline in milliseconds: Iris,
+/// FOSC-OPTICSDend, Scenario II, a 3-value MinPts grid.
+inline JobSpec SmallJobSpec() {
+  JobSpec spec;
+  spec.dataset = "iris";
+  spec.clusterer = "fosc";
+  spec.scenario = SupervisionKind::kConstraints;
+  spec.param_grid = {3, 6, 9};
+  spec.n_folds = 3;
+  return spec;
+}
+
+inline ServerConfig ScratchServerConfig(const ServiceScratch& scratch) {
+  ServerConfig config;
+  config.socket_path = scratch.socket;
+  config.results_dir = scratch.results;
+  config.store_dir = scratch.store;
+  return config;
+}
+
+/// Parks threads until released. Jobs whose hook calls Enter() block on
+/// the gate; the test observes how many are parked, does its asserts,
+/// and releases them — all condition-variable-driven, no timing.
+class Gate {
+ public:
+  /// Called from the server's before_job_hook: registers as parked,
+  /// blocks until Release().
+  void Enter() {
+    MutexLock lock(&mu_);
+    ++parked_;
+    cv_.NotifyAll();
+    while (!released_) cv_.Wait(&mu_);
+  }
+
+  /// Blocks until at least `count` threads are parked in Enter().
+  void AwaitParked(int count) {
+    MutexLock lock(&mu_);
+    while (parked_ < count) cv_.Wait(&mu_);
+  }
+
+  void Release() {
+    {
+      MutexLock lock(&mu_);
+      released_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  int parked_ GUARDED_BY(mu_) = 0;
+  bool released_ GUARDED_BY(mu_) = false;
+};
+
+}  // namespace cvcp
+
+#endif  // CVCP_TESTS_SERVICE_TEST_UTIL_H_
