@@ -1,0 +1,42 @@
+#include "common/cancel.h"
+
+namespace cvcp {
+
+namespace internal {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace internal
+
+Status CancelToken::Check() const {
+  if (state_ == nullptr) return Status::OK();
+  if (state_->cancelled.load(std::memory_order_acquire)) {
+    return Status::Cancelled("cancelled by caller");
+  }
+  const int64_t deadline =
+      state_->deadline_ns.load(std::memory_order_acquire);
+  if (deadline != internal::CancelState::kNoDeadlineNs &&
+      internal::SteadyNowNs() >= deadline) {
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  return Status::OK();
+}
+
+void CancelSource::SetDeadlineAfterMs(uint64_t ms) {
+  state_->deadline_ns.store(
+      internal::SteadyNowNs() + static_cast<int64_t>(ms) * 1000000,
+      std::memory_order_release);
+}
+
+bool CancelSource::DeadlineExpired() const {
+  const int64_t deadline =
+      state_->deadline_ns.load(std::memory_order_acquire);
+  return deadline != internal::CancelState::kNoDeadlineNs &&
+         internal::SteadyNowNs() >= deadline;
+}
+
+}  // namespace cvcp

@@ -134,8 +134,15 @@ size_t PanelRows(size_t dims) {
 }  // namespace
 
 DistanceMatrix DistanceMatrix::Compute(const Matrix& points, Metric metric,
-                                       const ExecutionContext& exec,
+                                       const ExecutionContext& exec_in,
                                        DistanceStorage storage) {
+  // Artifact builds are all-or-nothing: the matrix may be published into
+  // the shared DatasetCache / artifact store, where another (non-cancelled)
+  // job would consume it, so a live cancel token must never skip tiles.
+  // Cancellation promptness comes from the (param, fold) cell boundaries
+  // above, not from inside a build.
+  ExecutionContext exec = exec_in;
+  exec.cancel = CancelToken();
   DistanceMatrix dm;
   const size_t n = points.rows();
   dm.n_ = n;

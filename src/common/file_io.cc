@@ -1,7 +1,11 @@
 #include "common/file_io.h"
 
+#include <errno.h>
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -13,13 +17,90 @@ namespace cvcp {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+// The installed fault-injection hooks, or nullptr in production. A plain
+// atomic pointer: tests install before exercising IO and uninstall after,
+// so the only concurrency is hot-path readers against a quiescent value.
+std::atomic<const FileOpsHooks*> g_file_ops_hooks{nullptr};
+
+const FileOpsHooks* CurrentHooks() {
+  return g_file_ops_hooks.load(std::memory_order_acquire);
+}
+
+// Classifies an errno from the write path: a full disk is backpressure
+// the layers above degrade around (recompute, retry later), not an
+// internal invariant failure.
+Status WriteErrnoStatus(int err, const std::string& path,
+                        const char* action) {
+  if (err == ENOSPC || err == EDQUOT) {
+    return Status::ResourceExhausted(
+        Format("%s %s: %s", action, path.c_str(), std::strerror(err)));
+  }
+  return Status::Internal(
+      Format("%s %s: %s", action, path.c_str(), std::strerror(err)));
+}
+
+// Writes all of `bytes` to `fd` with an EINTR retry loop. `limit` caps
+// how many bytes are actually persisted (fault injection); a cap below
+// bytes.size() is reported as a detected short write.
+Status WriteAllToFd(int fd, std::string_view bytes, int64_t limit,
+                    const std::string& path) {
+  size_t target = bytes.size();
+  bool truncated = false;
+  if (limit >= 0 && static_cast<size_t>(limit) < target) {
+    target = static_cast<size_t>(limit);
+    truncated = true;
+  }
+  size_t written = 0;
+  while (written < target) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, target - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return WriteErrnoStatus(errno, path, "cannot write");
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (truncated) {
+    return Status::Internal(Format("short write to %s: %llu of %llu bytes",
+                                   path.c_str(),
+                                   static_cast<unsigned long long>(written),
+                                   static_cast<unsigned long long>(
+                                       bytes.size())));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ScopedFileOpsHooks::ScopedFileOpsHooks(const FileOpsHooks* hooks)
+    : previous_(g_file_ops_hooks.exchange(hooks, std::memory_order_acq_rel)) {}
+
+ScopedFileOpsHooks::~ScopedFileOpsHooks() {
+  g_file_ops_hooks.store(previous_, std::memory_order_release);
+}
+
 Result<std::string> ReadFileToString(const std::string& path) {
+  if (const FileOpsHooks* hooks = CurrentHooks()) {
+    if (hooks->before_read) {
+      CVCP_RETURN_IF_ERROR(hooks->before_read(path));
+    }
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound(Format("cannot open %s", path.c_str()));
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
   if (in.bad()) {
     return Status::Corruption(Format("read of %s failed", path.c_str()));
+  }
+  if (const FileOpsHooks* hooks = CurrentHooks()) {
+    if (hooks->truncate_read) {
+      const int64_t keep = hooks->truncate_read(path);
+      if (keep >= 0 && static_cast<size_t>(keep) < bytes.size()) {
+        bytes.resize(static_cast<size_t>(keep));
+      }
+    }
   }
   return bytes;
 }
@@ -38,24 +119,76 @@ Status WriteFileAtomic(const std::string& directory,
       fs::path(directory) /
       Format("%s.tmp.%d.%llu", filename.c_str(), static_cast<int>(::getpid()),
              static_cast<unsigned long long>(temp_seq));
-  {
-    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
-    if (!out || !out.write(bytes.data(),
-                           static_cast<std::streamsize>(bytes.size()))) {
-      fs::remove(temp_path, ec);
-      return Status::Internal(
-          Format("cannot write %s", temp_path.string().c_str()));
+  const std::string temp_str = temp_path.string();
+
+  int64_t write_limit = -1;
+  if (const FileOpsHooks* hooks = CurrentHooks()) {
+    if (hooks->before_write) {
+      CVCP_RETURN_IF_ERROR(hooks->before_write(temp_str));
+    }
+    if (hooks->short_write) write_limit = hooks->short_write(temp_str);
+  }
+
+  const int fd = ::open(temp_str.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return WriteErrnoStatus(errno, temp_str, "cannot create");
+  }
+  Status write_status = WriteAllToFd(fd, bytes, write_limit, temp_str);
+  // fsync before rename: the rename must never land while the data is
+  // still only in the page cache, or a crash publishes a torn file.
+  if (write_status.ok() && ::fsync(fd) != 0) {
+    write_status = WriteErrnoStatus(errno, temp_str, "cannot sync");
+  }
+  if (::close(fd) != 0 && write_status.ok()) {
+    write_status = WriteErrnoStatus(errno, temp_str, "cannot close");
+  }
+  if (!write_status.ok()) {
+    fs::remove(temp_path, ec);
+    return write_status;
+  }
+
+  if (const FileOpsHooks* hooks = CurrentHooks()) {
+    if (hooks->before_rename) {
+      const Status injected = hooks->before_rename(final_path.string());
+      if (!injected.ok()) {
+        fs::remove(temp_path, ec);
+        return injected;
+      }
     }
   }
   // POSIX rename is atomic within a directory: readers see the old file,
   // the new file, or no file — never a partial one.
   fs::rename(temp_path, final_path, ec);
   if (ec) {
+    const std::string reason = ec.message();  // before remove clobbers ec
     fs::remove(temp_path, ec);
-    return Status::Internal(Format("cannot publish %s: %s", filename.c_str(),
-                                   ec.message().c_str()));
+    return Status::Internal(
+        Format("cannot publish %s: %s", filename.c_str(), reason.c_str()));
   }
   return Status::OK();
+}
+
+bool IsTempFileName(std::string_view filename) {
+  return filename.find(".tmp.") != std::string_view::npos;
+}
+
+Result<uint64_t> RemoveOrphanTempFiles(const std::string& directory) {
+  std::error_code ec;
+  if (!fs::exists(directory, ec) || ec) return uint64_t{0};
+  uint64_t removed = 0;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (!IsTempFileName(name)) continue;
+    std::error_code remove_ec;
+    if (fs::remove(entry.path(), remove_ec) && !remove_ec) ++removed;
+  }
+  if (ec) {
+    return Status::Internal(Format("cannot scan %s: %s", directory.c_str(),
+                                   ec.message().c_str()));
+  }
+  return removed;
 }
 
 }  // namespace cvcp

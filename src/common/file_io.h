@@ -17,14 +17,60 @@
 ///     never partial bytes. Concurrent same-key writers last-write-win,
 ///     which is safe exactly when the bytes are a deterministic function
 ///     of the name (the invariant every store in this tree maintains).
+///     A write failure (including ENOSPC, classified kResourceExhausted)
+///     removes the tmp file and leaves the final name untouched.
+///
+/// Because every store funnels through these two functions, they carry
+/// the tree's single fault-injection seam (`FileOpsHooks`): tests fail
+/// the Nth write, truncate reads, refuse renames, or simulate a full
+/// disk here and observe how the layers above degrade — without mocking
+/// any store API.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
 #include "common/status.h"
 
 namespace cvcp {
+
+/// Test-only fault-injection hooks consulted by ReadFileToString and
+/// WriteFileAtomic. Every member is optional; an empty function injects
+/// nothing. Hooks must be deterministic (count calls, match paths) — no
+/// wall-clock or randomness — so fault suites replay exactly.
+struct FileOpsHooks {
+  /// Non-OK fails the read of `path` before any bytes are touched.
+  std::function<Status(const std::string& path)> before_read;
+  /// Truncates the bytes a successful read returns (a torn read as seen
+  /// after a crash). Return -1 for the full file.
+  std::function<int64_t(const std::string& path)> truncate_read;
+  /// Non-OK fails the tmp-file write. Return
+  /// `Status::ResourceExhausted(...)` to simulate ENOSPC.
+  std::function<Status(const std::string& temp_path)> before_write;
+  /// Caps how many bytes the tmp write persists; the short write is then
+  /// detected and reported as a failure. Return -1 for the full write.
+  std::function<int64_t(const std::string& temp_path)> short_write;
+  /// Non-OK fails the rename that publishes the final file.
+  std::function<Status(const std::string& final_path)> before_rename;
+};
+
+/// Installs `hooks` process-wide for the scope's lifetime and restores
+/// the previous hooks on destruction. `hooks` must outlive the scope.
+/// Not for concurrent use from multiple test threads (installation is a
+/// plain atomic swap; the hook functions themselves may be called
+/// concurrently and must be internally synchronized if they mutate).
+class ScopedFileOpsHooks {
+ public:
+  explicit ScopedFileOpsHooks(const FileOpsHooks* hooks);
+  ~ScopedFileOpsHooks();
+
+  ScopedFileOpsHooks(const ScopedFileOpsHooks&) = delete;
+  ScopedFileOpsHooks& operator=(const ScopedFileOpsHooks&) = delete;
+
+ private:
+  const FileOpsHooks* previous_;
+};
 
 /// Reads the whole file at `path`. kNotFound when it cannot be opened,
 /// kCorruption when a read fails midway.
@@ -33,10 +79,24 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Atomically publishes `bytes` as `directory/filename` (creating
 /// `directory` if needed) via a tmp file + rename. `temp_seq` must be
 /// unique among concurrent writers in this process (callers keep an
-/// atomic counter); the pid disambiguates across processes.
+/// atomic counter); the pid disambiguates across processes. Failures are
+/// classified: kResourceExhausted when the filesystem is out of space,
+/// kInternal otherwise; the tmp file is removed on every failure path.
 Status WriteFileAtomic(const std::string& directory,
                        const std::string& filename, std::string_view bytes,
                        uint64_t temp_seq);
+
+/// True when `filename` matches the `<name>.tmp.<pid>.<seq>` pattern
+/// WriteFileAtomic uses — i.e. it is an unpublished temp file that a
+/// crash between write and rename may have stranded.
+bool IsTempFileName(std::string_view filename);
+
+/// Removes every stranded temp file (per IsTempFileName) directly inside
+/// `directory` and returns how many were removed. Safe only when no
+/// writer is concurrently publishing into `directory` — callers run it
+/// during single-threaded recovery or from the offline inspector. A
+/// missing directory sweeps zero files (not an error).
+Result<uint64_t> RemoveOrphanTempFiles(const std::string& directory);
 
 }  // namespace cvcp
 

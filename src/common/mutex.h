@@ -25,7 +25,9 @@
 /// NOT hold the mutex, so guarded reads inside it would (rightly) fail
 /// the analysis even though the wait contract makes them safe.
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "common/thread_annotations.h"
@@ -90,6 +92,19 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  /// Timed wait: like `Wait` but returns after at most `timeout_ms`
+  /// milliseconds. Returns false on timeout, true when notified. Same
+  /// contract otherwise — hold `*mu`, loop on the condition. Exists for
+  /// periodic scanners (the server's deadline watchdog) that must wake on
+  /// a schedule but still stop promptly when notified.
+  bool WaitFor(Mutex* mu, int64_t timeout_ms) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms));
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -64,7 +64,13 @@ void ParallelFor(const ExecutionContext& exec, size_t n,
   if (n == 0) return;
   const int threads = exec.ResolvedThreads();
   if (threads <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      // Same early-stop semantics as the pool path: a fired token means
+      // the remaining iterations are skipped and the caller must not
+      // consume the (partial) results without Check()ing the token.
+      if (exec.cancel.Cancelled()) return;
+      fn(i);
+    }
     return;
   }
 
@@ -87,9 +93,12 @@ void ParallelFor(const ExecutionContext& exec, size_t n,
   LoopState state;  // lanes hold references; all finish before we return
   state.pending.store(lanes - 1, std::memory_order_relaxed);
 
-  auto claim_loop = [&state, &fn, n] {
+  auto claim_loop = [&state, &fn, n, &cancel = exec.cancel] {
     for (size_t i = state.next.fetch_add(1, std::memory_order_relaxed);
          i < n; i = state.next.fetch_add(1, std::memory_order_relaxed)) {
+      // Cooperative stop: once the token fires, no lane claims another
+      // index. A no-op (one null test) for the default token.
+      if (cancel.Cancelled()) return;
       fn(i);
     }
   };

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "common/cancel.h"
 #include "common/kernel_policy.h"
 
 namespace cvcp {
@@ -43,6 +44,17 @@ struct ExecutionContext {
   /// byte-identity contract to hold (the harness threads one value
   /// through every layer).
   DistanceKernelPolicy distance_kernel = DistanceKernelPolicy::kDefault;
+
+  /// Cooperative cancellation for the work under this context. The
+  /// default token never fires, so existing callers pay one null check.
+  /// When it does fire, ParallelFor stops claiming new indices — callers
+  /// that pass a live token must Check() it after the loop and treat
+  /// untouched result slots as unavailable, never publish them. Code
+  /// that publishes shared artifacts strips the token first (see
+  /// DistanceMatrix::Compute) so a cancelled run can never leave a
+  /// partial artifact behind. Like `threads`, the token changes whether
+  /// a run completes, never the bytes of a completed result.
+  CancelToken cancel;
 
   /// `threads`, with 0 resolved to the hardware concurrency (>= 1).
   int ResolvedThreads() const;
@@ -122,7 +134,11 @@ NestedBudget PlanBudget(const ExecutionContext& exec, size_t outer_size,
 /// once indices run out it helps while waiting (executes queued pool
 /// tasks — typically nested fan-outs' cells — until its own lanes
 /// finish), so calls nest from any thread without deadlock or idle
-/// threads. Blocks until all iterations finish. Exceptions: the serial
+/// threads. Blocks until all iterations finish — except that once
+/// `exec.cancel` fires, lanes stop claiming new indices (in-flight
+/// bodies still run to completion), so remaining slots may be skipped;
+/// callers with a live token must Check() it after the call before
+/// consuming results. Exceptions: the serial
 /// path stops at the first throwing iteration; the pool path runs every
 /// iteration and rethrows one of the thrown exceptions (which one is
 /// scheduling-dependent) — fallible bodies should report through

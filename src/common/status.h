@@ -27,6 +27,10 @@ enum class StatusCode {
   kResourceExhausted,        ///< admission control says try later (backpressure)
   kInternal,
   kUnimplemented,
+  // New codes are appended (never inserted) — the numeric values cross the
+  // service wire inside ErrorReply frames and must stay stable.
+  kCancelled,         ///< caller requested cooperative cancellation
+  kDeadlineExceeded,  ///< monotonic deadline passed before completion
 };
 
 /// Returns a stable human-readable name for a code ("InvalidArgument", ...).
@@ -72,6 +76,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

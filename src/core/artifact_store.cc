@@ -553,6 +553,12 @@ Result<size_t> ArtifactStore::Purge() {
   return removed;
 }
 
+Result<uint64_t> ArtifactStore::SweepOrphanTemps() {
+  CVCP_ASSIGN_OR_RETURN(uint64_t removed, RemoveOrphanTempFiles(directory_));
+  temps_swept_.fetch_add(removed, std::memory_order_relaxed);
+  return removed;
+}
+
 ArtifactStore::Stats ArtifactStore::stats() const {
   Stats out;
   out.disk_hits = disk_hits_.load(std::memory_order_relaxed);
@@ -563,6 +569,7 @@ ArtifactStore::Stats ArtifactStore::stats() const {
   out.write_errors = write_errors_.load(std::memory_order_relaxed);
   out.bytes_written = bytes_written_.load(std::memory_order_relaxed);
   out.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  out.temps_swept = temps_swept_.load(std::memory_order_relaxed);
   return out;
 }
 

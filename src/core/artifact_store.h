@@ -182,6 +182,14 @@ class ArtifactStore {
   /// how many were removed.
   Result<size_t> Purge();
 
+  /// Removes orphaned `*.tmp.*` files left by crashed writers; returns
+  /// how many were removed (also counted under `temps_swept`). Only safe
+  /// when no other process is writing to the directory — an in-flight
+  /// tmp file is indistinguishable from an orphan. cvcp_serve owns its
+  /// store directory and sweeps at Start; `store_inspect purge-tmp` is
+  /// the operator's manual path.
+  Result<uint64_t> SweepOrphanTemps();
+
   /// Read/write outcome counters. `disk_hits` are successful loads;
   /// every load failure increments exactly one miss counter.
   struct Stats {
@@ -193,6 +201,7 @@ class ArtifactStore {
     uint64_t write_errors = 0;
     uint64_t bytes_written = 0;
     uint64_t bytes_read = 0;
+    uint64_t temps_swept = 0;      ///< orphans removed by SweepOrphanTemps
   };
   Stats stats() const;
 
@@ -216,6 +225,7 @@ class ArtifactStore {
   std::atomic<uint64_t> write_errors_{0};
   std::atomic<uint64_t> bytes_written_{0};
   std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> temps_swept_{0};
 };
 
 }  // namespace cvcp

@@ -101,6 +101,8 @@ Result<std::vector<CvScore>> ScoreGridOnFolds(
   const size_t n_folds = folds.size();
   const size_t n_cells = param_grid.size() * n_folds;
   if (timings != nullptr) timings->clear();
+  // Already cancelled or past deadline: fail before materializing cells.
+  CVCP_RETURN_IF_ERROR(exec.cancel.Check());
 
   // Materialize the grid×fold job list, pre-forking each cell's RNG in the
   // order the serial loop forks them. Fork() never consumes parent state,
@@ -121,6 +123,16 @@ Result<std::vector<CvScore>> ScoreGridOnFolds(
   FirstErrorTracker first_error(n_cells);
   auto run_cell = [&](size_t c) {
     if (first_error.ShouldSkip(c)) return;
+    // Cell boundary = cancellation boundary: a fired token fails this
+    // cell (and, via the tracker, skips every later one) instead of
+    // interrupting a clustering run mid-flight. Builds that publish into
+    // the shared cache strip the token, so granularity stays here.
+    const Status interrupted = exec.cancel.Check();
+    if (!interrupted.ok()) {
+      results[c].status = interrupted;
+      first_error.Record(c);
+      return;
+    }
     const CvCell& cell = cells[c];
     const FoldSplit& fold = folds[cell.fold];
     const auto start = std::chrono::steady_clock::now();
@@ -165,6 +177,13 @@ Result<std::vector<CvScore>> ScoreGridOnFolds(
   } else {
     ParallelFor(exec, n_cells, run_cell);
   }
+
+  // A fired token may have made ParallelFor skip cells without any lane
+  // recording a status (lanes stop claiming); re-check it before the
+  // reduction so a cancelled sweep never returns partially-scored folds.
+  // Cancellation is sticky, so this also wins deterministically over any
+  // cell error when both are present.
+  CVCP_RETURN_IF_ERROR(exec.cancel.Check());
 
   // Deterministic reduction: first error in cell order wins, matching what
   // the serial loop would have returned.

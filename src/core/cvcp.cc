@@ -52,7 +52,10 @@ Result<CvcpReport> RunCvcp(const Dataset& data, const Supervision& supervision,
         "no parameter value produced a valid cross-validation score");
   }
 
-  // Step 4: final run with all available supervision.
+  // Step 4: final run with all available supervision. Last cancellation
+  // boundary: past this point the report is complete and its bytes are
+  // the deterministic function of the spec that the stores rely on.
+  CVCP_RETURN_IF_ERROR(config.cv.exec.cancel.Check());
   Rng final_rng = rng->Fork(0xF17A1ULL);
   CVCP_ASSIGN_OR_RETURN(
       report.final_clustering,

@@ -102,6 +102,9 @@ Result<Supervision> BuildJobSupervision(const Dataset& data,
 
 Result<CvcpReport> RunJob(const Dataset& data, const JobSpec& spec,
                           const JobContext& context) {
+  // Fail before any work when the job was cancelled (or timed out) while
+  // queued — a popped-but-overdue job must not even build supervision.
+  CVCP_RETURN_IF_ERROR(context.exec.cancel.Check());
   CVCP_RETURN_IF_ERROR(ValidateJobSpec(spec));
   CVCP_ASSIGN_OR_RETURN(std::unique_ptr<SemiSupervisedClusterer> clusterer,
                         MakeClusterer(spec.clusterer));
@@ -134,6 +137,7 @@ void AppendJobSpecRecords(const JobSpec& spec, BlockBuilder* builder) {
   builder->AppendU32(static_cast<uint32_t>(spec.n_folds));
   builder->AppendU32(spec.stratified ? 1 : 0);
   builder->AppendU64(spec.cvcp_seed);
+  builder->AppendU64(spec.deadline_ms);
 }
 
 Result<JobSpec> ReadJobSpecRecords(BlockReader* reader) {
@@ -170,6 +174,7 @@ Result<JobSpec> ReadJobSpecRecords(BlockReader* reader) {
   CVCP_ASSIGN_OR_RETURN(uint32_t stratified, reader->ReadU32());
   spec.stratified = stratified != 0;
   CVCP_ASSIGN_OR_RETURN(spec.cvcp_seed, reader->ReadU64());
+  CVCP_ASSIGN_OR_RETURN(spec.deadline_ms, reader->ReadU64());
   return spec;
 }
 
@@ -191,7 +196,12 @@ Result<JobSpec> DecodeJobSpec(std::string bytes) {
 }
 
 uint64_t JobSpecHash(const JobSpec& spec) {
-  const std::string bytes = EncodeJobSpec(spec);
+  // The deadline is execution metadata, not job identity: resubmitting
+  // the same logical job with a different (or no) deadline must land in
+  // the same version chain and re-hash-validate against stored records.
+  JobSpec canonical = spec;
+  canonical.deadline_ms = 0;
+  const std::string bytes = EncodeJobSpec(canonical);
   return Hash64(bytes.data(), bytes.size());
 }
 

@@ -59,6 +59,14 @@ struct JobSpec {
   bool stratified = false;
   uint64_t cvcp_seed = 1;
 
+  /// Relative deadline in milliseconds, 0 = none. The clock starts when
+  /// the server admits the job (or when a direct runner builds its
+  /// CancelSource); an overdue job fails with kDeadlineExceeded at the
+  /// next cell boundary and leaves no result record. Execution metadata,
+  /// not job identity: JobSpecHash ignores it, so the same logical job
+  /// submitted with different deadlines stays one version chain.
+  uint64_t deadline_ms = 0;
+
   bool operator==(const JobSpec&) const = default;
 };
 

@@ -5,12 +5,20 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/strings.h"
 
 namespace cvcp {
+
+int64_t RetryDelayMs(const RetryPolicy& policy, int attempt) {
+  if (policy.backoff_ms <= 0 || attempt <= 0) return 0;
+  const int shift = attempt - 1 < 6 ? attempt - 1 : 6;
+  return static_cast<int64_t>(policy.backoff_ms) << shift;
+}
 
 Result<Client> Client::Connect(const std::string& socket_path) {
   sockaddr_un addr{};
@@ -68,6 +76,30 @@ Result<SubmitReply> Client::Submit(const JobSpec& spec) {
   CVCP_ASSIGN_OR_RETURN(std::string reply,
                         RoundTrip(EncodeSubmitRequest(SubmitRequest{spec})));
   return DecodeSubmitReply(std::move(reply));
+}
+
+Result<SubmitReply> Client::SubmitWithRetry(
+    const JobSpec& spec, const RetryPolicy& policy,
+    const std::function<void(int, int64_t)>& on_retry) {
+  Result<SubmitReply> reply = Submit(spec);
+  for (int attempt = 1;
+       attempt <= policy.max_retries && !reply.ok() &&
+       reply.status().code() == StatusCode::kResourceExhausted;
+       ++attempt) {
+    const int64_t delay_ms = RetryDelayMs(policy, attempt);
+    if (on_retry) on_retry(attempt, delay_ms);
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    reply = Submit(spec);
+  }
+  return reply;
+}
+
+Result<CancelReply> Client::Cancel(uint64_t job_id) {
+  CVCP_ASSIGN_OR_RETURN(std::string reply,
+                        RoundTrip(EncodeCancelRequest(CancelRequest{job_id})));
+  return DecodeCancelReply(std::move(reply));
 }
 
 Result<ReportReply> Client::Wait(uint64_t job_id) {

@@ -11,6 +11,7 @@
 /// concurrency (the determinism tests do).
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,20 @@
 #include "service/protocol.h"
 
 namespace cvcp {
+
+/// Deterministic bounded retry for backpressure rejections: attempt k
+/// (1-based) sleeps `backoff_ms << min(k-1, 6)` milliseconds before
+/// retrying — a fixed doubling schedule capped at 64× so the delays are
+/// reproducible in tests and logs (no jitter; the server's FIFO admission
+/// makes thundering-herd randomization pointless on a local socket).
+struct RetryPolicy {
+  int max_retries = 0;  ///< retries after the first attempt (0 = none)
+  int backoff_ms = 0;   ///< base delay; 0 = retry immediately
+};
+
+/// The delay before 1-based retry attempt `attempt` under `policy`.
+/// Pure — the schedule tests pin it without sleeping.
+int64_t RetryDelayMs(const RetryPolicy& policy, int attempt);
 
 class Client {
  public:
@@ -34,6 +49,20 @@ class Client {
   /// Submits a job. The reply's (job_id, version) are assigned at
   /// admission; kResourceExhausted is the server saying "retry later".
   Result<SubmitReply> Submit(const JobSpec& spec);
+
+  /// Submit with bounded deterministic retry. Retries *only*
+  /// kResourceExhausted — backpressure is the one failure the server
+  /// promises is transient; transport errors and rejections of the spec
+  /// itself surface immediately. `on_retry(attempt, delay_ms)` (may be
+  /// null) is called before each backoff sleep, for progress output and
+  /// for tests to observe the schedule without timing anything.
+  Result<SubmitReply> SubmitWithRetry(
+      const JobSpec& spec, const RetryPolicy& policy,
+      const std::function<void(int, int64_t)>& on_retry = nullptr);
+
+  /// Requests cancellation of a queued or running job; the outcome says
+  /// what state the request found (see CancelOutcome).
+  Result<CancelReply> Cancel(uint64_t job_id);
 
   /// Blocks until the job completes, then returns its stored report.
   Result<ReportReply> Wait(uint64_t job_id);

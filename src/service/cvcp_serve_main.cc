@@ -8,7 +8,7 @@
 //
 //   cvcp_serve --socket PATH --results DIR [--store DIR]
 //              [--queue N] [--batch N] [--threads N]
-//              [--memory-mb N] [--cache-mb N]
+//              [--memory-mb N] [--cache-mb N] [--io-timeout-ms N]
 
 #include <chrono>
 #include <csignal>
@@ -39,7 +39,10 @@ int Usage(const char* argv0) {
       "  --batch N       concurrent jobs in flight (default 2)\n"
       "  --threads N     per-job fan-out width, 0 = all cores (default 0)\n"
       "  --memory-mb N   admission: in-flight memory cap (default 1024)\n"
-      "  --cache-mb N    shared compute-cache capacity (default 256)\n",
+      "  --cache-mb N    shared compute-cache capacity (default 256)\n"
+      "  --io-timeout-ms N  per-connection socket read/write timeout; a\n"
+      "                  silent client is evicted instead of pinning its\n"
+      "                  connection thread (default 30000, 0 = never)\n",
       argv0);
   return 2;
 }
@@ -54,6 +57,9 @@ bool ParseInt(const char* text, long* out) {
 
 int main(int argc, char** argv) {
   ServerConfig config;
+  // The ServerConfig default (0 = no timeouts) suits in-process tests;
+  // a production server should always evict dead clients.
+  config.io_timeout_ms = 30000;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -77,6 +83,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--cache-mb" && has_value &&
                ParseInt(argv[++i], &value)) {
       config.cache_capacity_bytes = static_cast<size_t>(value) << 20;
+    } else if (arg == "--io-timeout-ms" && has_value &&
+               ParseInt(argv[++i], &value)) {
+      config.io_timeout_ms = static_cast<int>(value);
     } else {
       return Usage(argv[0]);
     }

@@ -193,7 +193,7 @@ namespace {
 /// StatsReply travels as one u64-array record in field-declaration
 /// order; the count is the schema version (a mismatch is kCorruption,
 /// encoder and decoder disagree).
-constexpr size_t kStatsFieldCount = 19;
+constexpr size_t kStatsFieldCount = 22;
 
 }  // namespace
 
@@ -209,7 +209,8 @@ std::string EncodeStatsReply(const StatsReply& msg) {
       msg.model_loads,     msg.model_hits,
       msg.disk_hits,       msg.disk_misses,
       msg.results_recovered, msg.results_corrupt,
-      msg.results_stored};
+      msg.results_stored,  msg.cancelled,
+      msg.deadline_exceeded, msg.temps_swept};
   builder.AppendSizes(fields);
   return builder.Finish();
 }
@@ -246,6 +247,9 @@ Result<StatsReply> DecodeStatsReply(std::string bytes) {
   msg.results_recovered = fields[i++];
   msg.results_corrupt = fields[i++];
   msg.results_stored = fields[i++];
+  msg.cancelled = fields[i++];
+  msg.deadline_exceeded = fields[i++];
+  msg.temps_swept = fields[i++];
   return msg;
 }
 
@@ -287,12 +291,42 @@ Result<ErrorReply> DecodeErrorReply(std::string bytes) {
       BlockReader reader,
       OpenMessage(std::move(bytes), MessageKind::kErrorReply));
   CVCP_ASSIGN_OR_RETURN(uint32_t code, reader.ReadU32());
-  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnimplemented)) {
+  if (code == 0 ||
+      code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
     return Status::Corruption(Format("bad status code %u", code));
   }
   CVCP_ASSIGN_OR_RETURN(std::string message, reader.ReadString());
   CVCP_RETURN_IF_ERROR(RequireDrained(reader));
   return ErrorReply{Status(static_cast<StatusCode>(code), std::move(message))};
+}
+
+std::string EncodeCancelRequest(const CancelRequest& msg) {
+  return EncodeJobIdMessage(MessageKind::kCancelRequest, msg.job_id);
+}
+
+Result<CancelRequest> DecodeCancelRequest(std::string bytes) {
+  CVCP_ASSIGN_OR_RETURN(
+      uint64_t job_id,
+      DecodeJobIdMessage(std::move(bytes), MessageKind::kCancelRequest));
+  return CancelRequest{job_id};
+}
+
+std::string EncodeCancelReply(const CancelReply& msg) {
+  BlockBuilder builder(KindValue(MessageKind::kCancelReply));
+  builder.AppendU32(static_cast<uint32_t>(msg.outcome));
+  return builder.Finish();
+}
+
+Result<CancelReply> DecodeCancelReply(std::string bytes) {
+  CVCP_ASSIGN_OR_RETURN(
+      BlockReader reader,
+      OpenMessage(std::move(bytes), MessageKind::kCancelReply));
+  CVCP_ASSIGN_OR_RETURN(uint32_t outcome, reader.ReadU32());
+  if (outcome > static_cast<uint32_t>(CancelOutcome::kAlreadyFinished)) {
+    return Status::Corruption(Format("bad cancel outcome %u", outcome));
+  }
+  CVCP_RETURN_IF_ERROR(RequireDrained(reader));
+  return CancelReply{static_cast<CancelOutcome>(outcome)};
 }
 
 Result<MessageKind> PeekMessageKind(std::string_view payload) {
@@ -310,6 +344,8 @@ Result<MessageKind> PeekMessageKind(std::string_view payload) {
     case MessageKind::kShutdownRequest:
     case MessageKind::kShutdownReply:
     case MessageKind::kErrorReply:
+    case MessageKind::kCancelRequest:
+    case MessageKind::kCancelReply:
       return static_cast<MessageKind>(kind);
   }
   return Status::Corruption(Format("unknown message kind 0x%08x", kind));
@@ -323,6 +359,11 @@ Status WriteAll(int fd, const char* data, size_t size) {
     const ssize_t n = ::write(fd, data + written, size - written);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer stopped draining. Give up on the
+        // connection rather than wedge this thread forever.
+        return Status::Internal("socket write timed out");
+      }
       return Status::Internal(
           Format("socket write failed: %s", std::strerror(errno)));
     }
@@ -339,6 +380,13 @@ Status ReadAll(int fd, char* data, size_t size, size_t* got) {
     const ssize_t n = ::read(fd, data + *got, size - *got);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO expired. Before the first header byte (*got == 0 in
+        // ReadFrame's header read) this surfaces as kNotFound — an idle
+        // peer is treated like one that hung up; mid-frame it stays an
+        // IO error.
+        return Status::Corruption("socket read timed out");
+      }
       return Status::Corruption(
           Format("socket read failed: %s", std::strerror(errno)));
     }

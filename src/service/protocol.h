@@ -51,6 +51,8 @@ enum class MessageKind : uint32_t {
   kShutdownRequest = 0x4356000A,
   kShutdownReply = 0x4356000B,
   kErrorReply = 0x4356000C,
+  kCancelRequest = 0x4356000D,
+  kCancelReply = 0x4356000E,
 };
 
 /// Refuse frames above this size at the header (requests are a few KB;
@@ -131,11 +133,35 @@ struct StatsReply {
   uint64_t results_recovered = 0;
   uint64_t results_corrupt = 0;
   uint64_t results_stored = 0;
+  // Cancellation/deadline counters and recovery hygiene.
+  uint64_t cancelled = 0;          ///< jobs failed by a client cancel
+  uint64_t deadline_exceeded = 0;  ///< jobs failed by their deadline
+  uint64_t temps_swept = 0;        ///< orphaned tmp files removed at Start
 };
 
 struct ShutdownRequest {};
 
 struct ShutdownReply {};
+
+/// Requests cooperative cancellation of one job.
+struct CancelRequest {
+  uint64_t job_id = 0;
+};
+
+/// What the cancel request found. Delivery is inherently racy against
+/// completion: `kSignalled` means the running job will stop at its next
+/// cell boundary — unless it completes first, in which case its result
+/// stands (a completed result's bytes are never affected by a late
+/// cancel).
+enum class CancelOutcome : uint32_t {
+  kCancelledWhileQueued = 0,  ///< removed from the queue; never ran
+  kSignalled = 1,             ///< running; stops at the next cell boundary
+  kAlreadyFinished = 2,       ///< done or failed before the request arrived
+};
+
+struct CancelReply {
+  CancelOutcome outcome = CancelOutcome::kAlreadyFinished;
+};
 
 /// A Status over the wire: code + message.
 struct ErrorReply {
@@ -166,6 +192,10 @@ std::string EncodeShutdownReply();
 Result<ShutdownReply> DecodeShutdownReply(std::string bytes);
 std::string EncodeErrorReply(const ErrorReply& msg);
 Result<ErrorReply> DecodeErrorReply(std::string bytes);
+std::string EncodeCancelRequest(const CancelRequest& msg);
+Result<CancelRequest> DecodeCancelRequest(std::string bytes);
+std::string EncodeCancelReply(const CancelReply& msg);
+Result<CancelReply> DecodeCancelReply(std::string bytes);
 
 /// The message kind of a payload, without validating the CRC (dispatch
 /// peeks, then the per-kind decoder validates the full frame).
@@ -177,7 +207,12 @@ Result<MessageKind> PeekMessageKind(std::string_view payload);
 /// ReadFrame reads exactly one frame; it returns kNotFound on a clean
 /// EOF before the first header byte (the peer hung up between frames),
 /// kCorruption on a mid-frame EOF or read error, and kInvalidArgument on
-/// an oversized length prefix — without allocating for it.
+/// an oversized length prefix — without allocating for it. On sockets
+/// with SO_RCVTIMEO/SO_SNDTIMEO set (the server arms them when
+/// `io_timeout_ms` is configured), a timeout before the first header
+/// byte reads as kNotFound — an idle peer is evicted like a hung-up one
+/// — and a mid-frame or write timeout is an IO error, so a dead client
+/// can never wedge a connection thread.
 Status WriteFrame(int fd, std::string_view payload);
 Result<std::string> ReadFrame(int fd);
 

@@ -60,6 +60,12 @@ Status ResultStore::Recover() {
   namespace fs = std::filesystem;
   std::error_code ec;
   if (!fs::exists(directory_, ec)) return Status::OK();  // born lazily
+  // A crash between tmp-write and rename leaves an orphan; no writer is
+  // live during recovery, so every tmp file here is garbage.
+  Result<uint64_t> swept = RemoveOrphanTempFiles(directory_);
+  if (swept.ok()) {
+    temps_swept_.fetch_add(swept.value(), std::memory_order_relaxed);
+  }
   std::vector<std::string> names;
   for (const auto& entry : fs::directory_iterator(directory_, ec)) {
     const std::string name = entry.path().filename().string();
@@ -163,6 +169,7 @@ ResultStore::Stats ResultStore::stats() const {
   stats.recovered = recovered_.load(std::memory_order_relaxed);
   stats.corrupt = corrupt_.load(std::memory_order_relaxed);
   stats.stored = stored_.load(std::memory_order_relaxed);
+  stats.temps_swept = temps_swept_.load(std::memory_order_relaxed);
   return stats;
 }
 

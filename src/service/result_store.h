@@ -67,8 +67,11 @@ class ResultStore {
   const std::string& directory() const { return directory_; }
 
   /// Scans the directory and indexes every valid record; damaged files
-  /// are counted under `results_corrupt` and skipped. Seeds the job-id
-  /// counter and the per-hash version chains. Call once before serving.
+  /// are counted under `results_corrupt` and skipped. Orphaned `*.tmp.*`
+  /// files — writes a crash interrupted before their rename — are removed
+  /// and counted under `temps_swept` (safe here: Recover runs before any
+  /// writer exists). Seeds the job-id counter and the per-hash version
+  /// chains. Call once before serving.
   Status Recover();
 
   /// Allocates the next job id (recovered max + 1, monotonic).
@@ -97,9 +100,10 @@ class ResultStore {
   std::vector<uint64_t> AllJobIds() const;
 
   struct Stats {
-    uint64_t recovered = 0;  ///< valid records indexed by Recover
-    uint64_t corrupt = 0;    ///< damaged files skipped by Recover
-    uint64_t stored = 0;     ///< records published by Put
+    uint64_t recovered = 0;    ///< valid records indexed by Recover
+    uint64_t corrupt = 0;      ///< damaged files skipped by Recover
+    uint64_t stored = 0;       ///< records published by Put
+    uint64_t temps_swept = 0;  ///< orphaned tmp files removed by Recover
   };
   Stats stats() const;
 
@@ -117,6 +121,7 @@ class ResultStore {
   std::atomic<uint64_t> recovered_{0};
   std::atomic<uint64_t> corrupt_{0};
   std::atomic<uint64_t> stored_{0};
+  std::atomic<uint64_t> temps_swept_{0};
 };
 
 }  // namespace cvcp

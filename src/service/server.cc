@@ -1,6 +1,7 @@
 #include "service/server.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -8,6 +9,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/file_io.h"
 #include "common/strings.h"
 
 namespace cvcp {
@@ -25,9 +27,19 @@ Server::~Server() { Stop(/*drain=*/false); }
 
 Status Server::Start() {
   CVCP_RETURN_IF_ERROR(results_.Recover());
+  // Recovery hygiene for the artifact store: a crash between write and
+  // rename strands a tmp file. One server owns a store directory, so
+  // startup is a safe moment to sweep them (the result store sweeps its
+  // own directory inside Recover).
+  uint64_t artifact_swept = 0;
+  if (artifacts_) {
+    Result<uint64_t> swept = artifacts_->SweepOrphanTemps();
+    if (swept.ok()) artifact_swept = swept.value();
+  }
   {
     // Every recovered record is a fetchable done job in this life too.
     MutexLock lock(&mu_);
+    artifact_temps_swept_ = artifact_swept;
     for (uint64_t job_id : results_.AllJobIds()) {
       jobs_[job_id] = Phase::kDone;
     }
@@ -73,6 +85,7 @@ Status Server::Start() {
   for (int i = 0; i < batch; ++i) {
     executor_threads_.emplace_back([this] { ExecutorLoop(); });
   }
+  watchdog_thread_ = std::thread([this] { WatchdogLoop(); });
   return Status::OK();
 }
 
@@ -91,6 +104,7 @@ void Server::Stop(bool drain) {
   }
   queue_cv_.NotifyAll();
   done_cv_.NotifyAll();
+  watchdog_cv_.NotifyAll();
 
   // Unblock accept(), then the executors, then every connection read.
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
@@ -99,6 +113,7 @@ void Server::Stop(bool drain) {
     if (t.joinable()) t.join();
   }
   executor_threads_.clear();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
 
   std::vector<std::thread> conn_threads;
   {
@@ -123,6 +138,16 @@ void Server::AcceptLoop() {
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listen socket shut down by Stop (or a fatal error)
+    }
+    if (config_.io_timeout_ms > 0) {
+      // Dead-client armor: bound every read and write on the session so a
+      // peer that stops talking (or draining) frees this thread. Failure
+      // to arm is not fatal — the session just runs unbounded.
+      timeval tv{};
+      tv.tv_sec = config_.io_timeout_ms / 1000;
+      tv.tv_usec = (config_.io_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
     }
     MutexLock lock(&conn_mu_);
     conn_fds_.push_back(fd);
@@ -206,6 +231,13 @@ std::string Server::HandleFrame(std::string payload) {
       if (!request.ok()) return EncodeErrorReply(ErrorReply{request.status()});
       return EncodeStatsReply(Stats());
     }
+    case MessageKind::kCancelRequest: {
+      Result<CancelRequest> request = DecodeCancelRequest(std::move(payload));
+      if (!request.ok()) return EncodeErrorReply(ErrorReply{request.status()});
+      Result<CancelReply> reply = HandleCancel(request->job_id);
+      if (!reply.ok()) return EncodeErrorReply(ErrorReply{reply.status()});
+      return EncodeCancelReply(reply.value());
+    }
     case MessageKind::kShutdownRequest: {
       Result<ShutdownRequest> request =
           DecodeShutdownRequest(std::move(payload));
@@ -219,6 +251,7 @@ std::string Server::HandleFrame(std::string payload) {
     case MessageKind::kStatsReply:
     case MessageKind::kShutdownReply:
     case MessageKind::kErrorReply:
+    case MessageKind::kCancelReply:
       break;
   }
   return EncodeErrorReply(ErrorReply{Status::InvalidArgument(
@@ -237,6 +270,10 @@ Result<SubmitReply> Server::HandleSubmit(const JobSpec& spec) {
   job.spec = spec;
   job.spec_hash = JobSpecHash(spec);
   job.charge = charge;
+  job.cancel = std::make_shared<CancelSource>();
+  // The deadline clock starts at admission: queue wait counts against it,
+  // so an overdue job can be failed by the watchdog without ever running.
+  if (spec.deadline_ms > 0) job.cancel->SetDeadlineAfterMs(spec.deadline_ms);
   {
     MutexLock lock(&mu_);
     if (stopping_) {
@@ -261,10 +298,61 @@ Result<SubmitReply> Server::HandleSubmit(const JobSpec& spec) {
     inflight_bytes_ += charge;
     ++accepted_;
     jobs_[job.job_id] = Phase::kQueued;
+    cancel_sources_[job.job_id] = job.cancel;
     queue_.push_back(job);
   }
   queue_cv_.NotifyOne();
   return SubmitReply{job.job_id, job.version, job.spec_hash};
+}
+
+Result<CancelReply> Server::HandleCancel(uint64_t job_id) {
+  bool notify = false;
+  CancelReply reply;
+  {
+    MutexLock lock(&mu_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) {
+      return Status::NotFound(Format(
+          "unknown job %llu", static_cast<unsigned long long>(job_id)));
+    }
+    switch (it->second) {
+      case Phase::kQueued: {
+        // Still waiting: fail it right here — it never runs, stores no
+        // record, and its spec stays re-runnable.
+        for (auto q = queue_.begin(); q != queue_.end(); ++q) {
+          if (q->job_id != job_id) continue;
+          inflight_bytes_ -= q->charge;
+          queue_.erase(q);
+          break;
+        }
+        it->second = Phase::kFailed;
+        failures_[job_id] = Status::Cancelled("cancelled by client request");
+        ++failed_;
+        ++cancelled_;
+        cancel_sources_.erase(job_id);
+        reply.outcome = CancelOutcome::kCancelledWhileQueued;
+        notify = true;
+        break;
+      }
+      case Phase::kRunning: {
+        // Fire the token; the executor observes it at the next cell
+        // boundary and fails the job (unless it completes first — a
+        // completed result always stands).
+        auto source = cancel_sources_.find(job_id);
+        if (source != cancel_sources_.end()) {
+          source->second->RequestCancel();
+        }
+        reply.outcome = CancelOutcome::kSignalled;
+        break;
+      }
+      case Phase::kDone:
+      case Phase::kFailed:
+        reply.outcome = CancelOutcome::kAlreadyFinished;
+        break;
+    }
+  }
+  if (notify) done_cv_.NotifyAll();
+  return reply;
 }
 
 Status Server::AwaitJob(uint64_t job_id, Phase* phase, Status* failure) {
@@ -303,6 +391,33 @@ void Server::ExecutorLoop() {
   while (PopJob(&job)) RunOneJob(job);
 }
 
+void Server::WatchdogLoop() {
+  MutexLock lock(&mu_);
+  while (!stopping_) {
+    watchdog_cv_.WaitFor(&mu_, config_.watchdog_interval_ms);
+    if (stopping_) break;
+    // Fail queued jobs whose deadline expired while they waited; running
+    // jobs need no scan — their tokens self-expire at cell boundaries.
+    bool notify = false;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (!it->cancel || !it->cancel->DeadlineExpired()) {
+        ++it;
+        continue;
+      }
+      jobs_[it->job_id] = Phase::kFailed;
+      failures_[it->job_id] =
+          Status::DeadlineExceeded("deadline expired while queued");
+      ++failed_;
+      ++deadline_exceeded_;
+      inflight_bytes_ -= it->charge;
+      cancel_sources_.erase(it->job_id);
+      it = queue_.erase(it);
+      notify = true;
+    }
+    if (notify) done_cv_.NotifyAll();
+  }
+}
+
 void Server::RunOneJob(const QueuedJob& job) {
   if (config_.before_job_hook) config_.before_job_hook(job.spec);
 
@@ -315,6 +430,10 @@ void Server::RunOneJob(const QueuedJob& job) {
     JobContext context;
     context.cache = cache_pool_->For((*data)->points());
     context.exec.threads = config_.threads;
+    // Thread the job's cancel token into the engine: RunJob checks it
+    // before any work (a cancelled-while-queued pop fails immediately)
+    // and at every (param, fold) cell boundary thereafter.
+    if (job.cancel) context.exec.cancel = job.cancel->token();
     Result<CvcpReport> report = RunJob(**data, job.spec, context);
     if (!report.ok()) {
       failure = report.status();
@@ -336,10 +455,15 @@ void Server::RunOneJob(const QueuedJob& job) {
     MutexLock lock(&mu_);
     inflight_bytes_ -= job.charge;
     --running_;
+    cancel_sources_.erase(job.job_id);
     if (ok) {
       jobs_[job.job_id] = Phase::kDone;
       ++completed_;
     } else {
+      if (failure.code() == StatusCode::kCancelled) ++cancelled_;
+      if (failure.code() == StatusCode::kDeadlineExceeded) {
+        ++deadline_exceeded_;
+      }
       jobs_[job.job_id] = Phase::kFailed;
       failures_[job.job_id] = std::move(failure);
       ++failed_;
@@ -360,6 +484,9 @@ StatsReply Server::Stats() const {
     stats.completed = completed_;
     stats.failed = failed_;
     stats.inflight_bytes = inflight_bytes_;
+    stats.cancelled = cancelled_;
+    stats.deadline_exceeded = deadline_exceeded_;
+    stats.temps_swept = artifact_temps_swept_;
   }
   const DatasetCache::Stats cache = cache_pool_->AggregateStats();
   stats.distance_builds = cache.distance_builds;
@@ -377,6 +504,7 @@ StatsReply Server::Stats() const {
   stats.results_recovered = results.recovered;
   stats.results_corrupt = results.corrupt;
   stats.results_stored = results.stored;
+  stats.temps_swept += results.temps_swept;
   return stats;
 }
 

@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -68,6 +69,18 @@ struct ServerConfig {
   int batch = 2;    ///< executor threads (jobs in flight concurrently)
   int threads = 0;  ///< per-job fan-out width (0 = all hardware threads)
   size_t cache_capacity_bytes = 256u << 20;  ///< shared memory-tier LRU
+
+  /// SO_RCVTIMEO/SO_SNDTIMEO armed on every accepted connection, so a
+  /// dead or stalled client is evicted instead of pinning its connection
+  /// thread: an idle read timeout ends the session like a hang-up, a
+  /// mid-frame or write timeout is an IO error. 0 = no timeouts (the
+  /// in-process test default; cvcp_serve passes a production value).
+  int io_timeout_ms = 0;
+
+  /// How often the watchdog thread scans the queue for jobs whose
+  /// deadline expired while waiting (running jobs self-expire at cell
+  /// boundaries through their cancel token and need no scan).
+  int watchdog_interval_ms = 20;
 
   /// Test seam: called by the executor thread immediately before a job
   /// runs (admission and queueing already done). Lets the admission and
@@ -117,17 +130,26 @@ class Server {
     uint64_t spec_hash = 0;
     uint64_t charge = 0;  ///< EstimateJobBytes, discharged at completion
     JobSpec spec;
+    /// Per-job cancel state, created at admission (deadline already
+    /// armed). Its token is threaded into the job's ExecutionContext.
+    std::shared_ptr<CancelSource> cancel;
   };
 
   void AcceptLoop();
   void ConnectionLoop(int fd);
   void ExecutorLoop();
+  void WatchdogLoop();
 
   /// One request frame in, one reply frame out (kErrorReply on any
   /// handler failure).
   std::string HandleFrame(std::string payload);
 
   Result<SubmitReply> HandleSubmit(const JobSpec& spec);
+
+  /// Cancels `job_id`: a queued job is failed immediately (kCancelled,
+  /// never runs, leaves no record); a running one has its token fired
+  /// and stops at the next cell boundary; a finished one is left alone.
+  Result<CancelReply> HandleCancel(uint64_t job_id);
 
   /// Blocks until `job_id` leaves the queue/running states. OK with the
   /// final phase in `*phase` (and the failure in `*failure` when
@@ -151,6 +173,7 @@ class Server {
   int listen_fd_ = -1;
   std::thread accept_thread_;
   std::vector<std::thread> executor_threads_;
+  std::thread watchdog_thread_;
 
   mutable Mutex mu_;
   bool stopping_ GUARDED_BY(mu_) = false;
@@ -159,6 +182,10 @@ class Server {
   /// Every job id this server knows: admitted this life, or recovered.
   std::map<uint64_t, Phase> jobs_ GUARDED_BY(mu_);
   std::map<uint64_t, Status> failures_ GUARDED_BY(mu_);
+  /// Live (queued or running) jobs' cancel sources, for HandleCancel and
+  /// the watchdog; erased when the job reaches a terminal phase.
+  std::map<uint64_t, std::shared_ptr<CancelSource>> cancel_sources_
+      GUARDED_BY(mu_);
   uint64_t inflight_bytes_ GUARDED_BY(mu_) = 0;
   uint64_t running_ GUARDED_BY(mu_) = 0;
   uint64_t accepted_ GUARDED_BY(mu_) = 0;
@@ -166,8 +193,13 @@ class Server {
   uint64_t rejected_memory_ GUARDED_BY(mu_) = 0;
   uint64_t completed_ GUARDED_BY(mu_) = 0;
   uint64_t failed_ GUARDED_BY(mu_) = 0;
+  uint64_t cancelled_ GUARDED_BY(mu_) = 0;
+  uint64_t deadline_exceeded_ GUARDED_BY(mu_) = 0;
+  uint64_t artifact_temps_swept_ GUARDED_BY(mu_) = 0;
   CondVar queue_cv_;  ///< signaled on push and on stop
   CondVar done_cv_;   ///< signaled on every job completion/failure
+  CondVar watchdog_cv_;  ///< dedicated: a queue push must never wake the
+                         ///< watchdog instead of an executor
 
   mutable Mutex conn_mu_;
   std::vector<int> conn_fds_ GUARDED_BY(conn_mu_);

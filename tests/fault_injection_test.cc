@@ -1,0 +1,346 @@
+// Fault injection through the FileOpsHooks seam (common/file_io.h) —
+// every persistent component funnels its IO through ReadFileToString /
+// WriteFileAtomic, so injecting there exercises the real degradation
+// paths without mocking any store API:
+//
+//   * WriteFileAtomic publishes atomically or not at all: a failed or
+//     short or ENOSPC'd write, or a refused rename, leaves neither the
+//     final file nor a stranded tmp file, and the failure is classified
+//     (kResourceExhausted for a full disk, kInternal otherwise);
+//   * the ArtifactStore degrades to classified, counted misses and the
+//     engine recomputes: a job run with every artifact write failing
+//     produces bytes identical to one with a healthy disk;
+//   * the ResultStore's Put either publishes a fetchable record or
+//     leaves no trace, and a retry after the fault clears succeeds;
+//   * orphaned tmp files (a crash between write and rename) are swept at
+//     recovery and by ArtifactStore::SweepOrphanTemps, artifacts
+//     untouched.
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/file_io.h"
+#include "core/artifact_store.h"
+#include "core/dataset_cache.h"
+#include "core/job.h"
+#include "service/dataset_resolver.h"
+#include "service/result_store.h"
+#include "tests/service_test_util.h"
+
+namespace cvcp {
+namespace {
+
+namespace fs = std::filesystem;
+
+size_t CountEntries(const std::string& dir) {
+  std::error_code ec;
+  size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    (void)entry;
+    ++count;
+  }
+  return count;
+}
+
+void Touch(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  out << "partial";
+}
+
+TEST(FileOpsTest, IsTempFileNameMatchesWritePattern) {
+  EXPECT_TRUE(IsTempFileName("job-0001.cvcp.tmp.1234.0"));
+  EXPECT_TRUE(IsTempFileName("x.tmp.9.9"));
+  EXPECT_FALSE(IsTempFileName("job-0001.cvcp"));
+  EXPECT_FALSE(IsTempFileName("tmp"));
+  EXPECT_FALSE(IsTempFileName("notes.tmpl"));
+}
+
+TEST(FileOpsTest, WriteFileAtomicRoundTrips) {
+  ServiceScratch scratch = MakeServiceScratch();
+  ASSERT_TRUE(WriteFileAtomic(scratch.base, "a.bin", "payload", 0).ok());
+  auto bytes = ReadFileToString(scratch.base + "/a.bin");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value(), "payload");
+  EXPECT_EQ(CountEntries(scratch.base), 1u);  // no tmp left behind
+}
+
+TEST(FileOpsTest, FailedWriteLeavesNothing) {
+  ServiceScratch scratch = MakeServiceScratch();
+  FileOpsHooks hooks;
+  hooks.before_write = [](const std::string&) {
+    return Status::Internal("injected write failure");
+  };
+  ScopedFileOpsHooks scope(&hooks);
+  const Status status = WriteFileAtomic(scratch.base, "a.bin", "payload", 0);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(CountEntries(scratch.base), 0u);
+}
+
+TEST(FileOpsTest, DiskFullClassifiedResourceExhausted) {
+  ServiceScratch scratch = MakeServiceScratch();
+  FileOpsHooks hooks;
+  hooks.before_write = [](const std::string&) {
+    return Status::ResourceExhausted("injected ENOSPC");
+  };
+  ScopedFileOpsHooks scope(&hooks);
+  const Status status = WriteFileAtomic(scratch.base, "a.bin", "payload", 0);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(CountEntries(scratch.base), 0u);
+}
+
+TEST(FileOpsTest, ShortWriteDetectedAndCleaned) {
+  ServiceScratch scratch = MakeServiceScratch();
+  FileOpsHooks hooks;
+  hooks.short_write = [](const std::string&) -> int64_t { return 3; };
+  ScopedFileOpsHooks scope(&hooks);
+  const Status status = WriteFileAtomic(scratch.base, "a.bin", "payload", 0);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(CountEntries(scratch.base), 0u);
+}
+
+TEST(FileOpsTest, FailedRenameLeavesNoFinalFileOrTmp) {
+  ServiceScratch scratch = MakeServiceScratch();
+  FileOpsHooks hooks;
+  hooks.before_rename = [](const std::string&) {
+    return Status::Internal("injected rename failure");
+  };
+  ScopedFileOpsHooks scope(&hooks);
+  const Status status = WriteFileAtomic(scratch.base, "a.bin", "payload", 0);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(CountEntries(scratch.base), 0u);
+}
+
+TEST(FileOpsTest, NthWriteFailsOthersSucceed) {
+  ServiceScratch scratch = MakeServiceScratch();
+  int write_count = 0;
+  FileOpsHooks hooks;
+  hooks.before_write = [&write_count](const std::string&) {
+    return ++write_count == 2 ? Status::Internal("injected: second write")
+                              : Status::OK();
+  };
+  ScopedFileOpsHooks scope(&hooks);
+  EXPECT_TRUE(WriteFileAtomic(scratch.base, "a.bin", "a", 0).ok());
+  EXPECT_FALSE(WriteFileAtomic(scratch.base, "b.bin", "b", 1).ok());
+  EXPECT_TRUE(WriteFileAtomic(scratch.base, "c.bin", "c", 2).ok());
+  EXPECT_EQ(CountEntries(scratch.base), 2u);
+}
+
+TEST(FileOpsTest, TruncatedReadClassifiedByCaller) {
+  ServiceScratch scratch = MakeServiceScratch();
+  ASSERT_TRUE(WriteFileAtomic(scratch.base, "a.bin", "payload", 0).ok());
+  FileOpsHooks hooks;
+  hooks.truncate_read = [](const std::string&) -> int64_t { return 3; };
+  ScopedFileOpsHooks scope(&hooks);
+  auto bytes = ReadFileToString(scratch.base + "/a.bin");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value(), "pay");
+}
+
+TEST(FileOpsTest, RemoveOrphanTempFilesSweepsOnlyTemps) {
+  ServiceScratch scratch = MakeServiceScratch();
+  ASSERT_TRUE(WriteFileAtomic(scratch.base, "keep.cvcp", "data", 0).ok());
+  Touch(scratch.base + "/keep.cvcp.tmp.123.0");
+  Touch(scratch.base + "/other.cvcp.tmp.99.7");
+  auto swept = RemoveOrphanTempFiles(scratch.base);
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(swept.value(), 2u);
+  EXPECT_EQ(CountEntries(scratch.base), 1u);
+  EXPECT_TRUE(ReadFileToString(scratch.base + "/keep.cvcp").ok());
+}
+
+TEST(FileOpsTest, RemoveOrphanTempFilesMissingDirIsZero) {
+  auto swept = RemoveOrphanTempFiles("/tmp/cvcp-does-not-exist-xyz");
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(swept.value(), 0u);
+}
+
+// --- ArtifactStore degradation -------------------------------------------
+
+TEST(ArtifactFaultTest, WriteFailuresAreCountedMissesNotErrors) {
+  ServiceScratch scratch = MakeServiceScratch();
+  ArtifactStore store(scratch.store);
+  DatasetResolver resolver;
+  auto data = resolver.Resolve(SmallJobSpec());
+  ASSERT_TRUE(data.ok());
+
+  FileOpsHooks hooks;
+  hooks.before_write = [](const std::string&) {
+    return Status::ResourceExhausted("injected ENOSPC");
+  };
+  ScopedFileOpsHooks scope(&hooks);
+
+  DatasetCacheTiers tiers;
+  tiers.store = &store;
+  DatasetCache cache((*data)->points(), tiers);
+  JobContext context;
+  context.cache = &cache;
+  context.exec.threads = 1;
+  auto report = RunJob(**data, SmallJobSpec(), context);
+  ASSERT_TRUE(report.ok());  // computation unharmed by a dead disk tier
+
+  const ArtifactStore::Stats stats = store.stats();
+  EXPECT_GT(stats.write_errors, 0u);
+  EXPECT_EQ(stats.writes, 0u);
+  EXPECT_EQ(CountEntries(scratch.store), 0u);
+}
+
+TEST(ArtifactFaultTest, AllWritesFailingIsByteIdenticalToHealthyDisk) {
+  const JobSpec spec = SmallJobSpec();
+  DatasetResolver resolver;
+  auto data = resolver.Resolve(spec);
+  ASSERT_TRUE(data.ok());
+
+  auto run_with_store = [&](ArtifactStore* store) {
+    DatasetCacheTiers tiers;
+    tiers.store = store;
+    DatasetCache cache((*data)->points(), tiers);
+    JobContext context;
+    context.cache = &cache;
+    context.exec.threads = 1;
+    auto report = RunJob(**data, spec, context);
+    CVCP_CHECK(report.ok());
+    return EncodeCvcpReport(report.value());
+  };
+
+  ServiceScratch healthy_scratch = MakeServiceScratch();
+  ArtifactStore healthy(healthy_scratch.store);
+  const std::string healthy_bytes = run_with_store(&healthy);
+
+  ServiceScratch faulty_scratch = MakeServiceScratch();
+  ArtifactStore faulty(faulty_scratch.store);
+  FileOpsHooks hooks;
+  hooks.before_write = [](const std::string&) {
+    return Status::Internal("injected write failure");
+  };
+  ScopedFileOpsHooks scope(&hooks);
+  EXPECT_EQ(run_with_store(&faulty), healthy_bytes);
+  EXPECT_GT(faulty.stats().write_errors, 0u);
+}
+
+TEST(ArtifactFaultTest, TruncatedArtifactIsCorruptMissAndRecomputed) {
+  const JobSpec spec = SmallJobSpec();
+  DatasetResolver resolver;
+  auto data = resolver.Resolve(spec);
+  ASSERT_TRUE(data.ok());
+
+  ServiceScratch scratch = MakeServiceScratch();
+  ArtifactStore store(scratch.store);
+  std::string healthy_bytes;
+  {
+    // Warm the store with valid artifacts.
+    DatasetCacheTiers tiers;
+    tiers.store = &store;
+    DatasetCache cache((*data)->points(), tiers);
+    JobContext context;
+    context.cache = &cache;
+    context.exec.threads = 1;
+    auto report = RunJob(**data, spec, context);
+    ASSERT_TRUE(report.ok());
+    healthy_bytes = EncodeCvcpReport(report.value());
+  }
+  ASSERT_GT(store.stats().writes, 0u);
+
+  // Every read now returns torn bytes: each load is a classified
+  // corrupt miss, the engine recomputes, the answer does not change.
+  FileOpsHooks hooks;
+  hooks.truncate_read = [](const std::string&) -> int64_t { return 8; };
+  ScopedFileOpsHooks scope(&hooks);
+  DatasetCacheTiers tiers;
+  tiers.store = &store;
+  DatasetCache cache((*data)->points(), tiers);
+  JobContext context;
+  context.cache = &cache;
+  context.exec.threads = 1;
+  auto report = RunJob(**data, spec, context);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(EncodeCvcpReport(report.value()), healthy_bytes);
+  EXPECT_GT(store.stats().corrupt_misses, 0u);
+}
+
+TEST(ArtifactFaultTest, SweepOrphanTempsKeepsArtifacts) {
+  ServiceScratch scratch = MakeServiceScratch();
+  ArtifactStore store(scratch.store);
+  fs::create_directories(scratch.store);
+  Touch(scratch.store + "/abc.cvcp.tmp.42.0");
+  Touch(scratch.store + "/def.cvcp.tmp.42.1");
+  ASSERT_TRUE(
+      WriteFileAtomic(scratch.store, "keep.cvcp", "artifact", 0).ok());
+
+  auto swept = store.SweepOrphanTemps();
+  ASSERT_TRUE(swept.ok());
+  EXPECT_EQ(swept.value(), 2u);
+  EXPECT_EQ(store.stats().temps_swept, 2u);
+  EXPECT_EQ(CountEntries(scratch.store), 1u);
+}
+
+// --- ResultStore atomic publication --------------------------------------
+
+StoredResult SmallStoredResult(uint64_t job_id) {
+  const JobSpec spec = SmallJobSpec();
+  DatasetResolver resolver;
+  auto data = resolver.Resolve(spec);
+  CVCP_CHECK(data.ok());
+  JobContext context;
+  context.exec.threads = 1;
+  auto report = RunJob(**data, spec, context);
+  CVCP_CHECK(report.ok());
+  StoredResult record;
+  record.job_id = job_id;
+  record.version = 1;
+  record.spec_hash = JobSpecHash(spec);
+  record.spec_bytes = EncodeJobSpec(spec);
+  record.report_bytes = EncodeCvcpReport(report.value());
+  return record;
+}
+
+TEST(ResultStoreFaultTest, FailedPutPublishesNothingAndRetrySucceeds) {
+  ServiceScratch scratch = MakeServiceScratch();
+  const StoredResult record = SmallStoredResult(7);
+  ResultStore store(scratch.results);
+  ASSERT_TRUE(store.Recover().ok());
+
+  {
+    FileOpsHooks hooks;
+    hooks.before_rename = [](const std::string&) {
+      return Status::Internal("injected rename failure");
+    };
+    ScopedFileOpsHooks scope(&hooks);
+    EXPECT_FALSE(store.Put(record).ok());
+  }
+  // Atomic or nothing: no record served, no file, no tmp.
+  EXPECT_EQ(store.Get(7).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(CountEntries(scratch.results), 0u);
+
+  // The fault cleared; the identical Put now lands.
+  ASSERT_TRUE(store.Put(record).ok());
+  auto fetched = store.Get(7);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->report_bytes, record.report_bytes);
+}
+
+TEST(ResultStoreFaultTest, RecoverySweepsOrphanedTemps) {
+  ServiceScratch scratch = MakeServiceScratch();
+  const StoredResult record = SmallStoredResult(3);
+  {
+    ResultStore store(scratch.results);
+    ASSERT_TRUE(store.Recover().ok());
+    ASSERT_TRUE(store.Put(record).ok());
+  }
+  // Simulate a crash that stranded a tmp file next to the good record.
+  Touch(scratch.results + "/job-0000000000000009.cvcp.tmp.777.0");
+
+  ResultStore recovered(scratch.results);
+  ASSERT_TRUE(recovered.Recover().ok());
+  const ResultStore::Stats stats = recovered.stats();
+  EXPECT_EQ(stats.recovered, 1u);
+  EXPECT_EQ(stats.temps_swept, 1u);
+  EXPECT_EQ(stats.corrupt, 0u);
+  EXPECT_EQ(CountEntries(scratch.results), 1u);
+  EXPECT_TRUE(recovered.Get(3).ok());
+}
+
+}  // namespace
+}  // namespace cvcp

@@ -175,6 +175,67 @@ TEST(ServiceProtocolTest, EveryMessageKindRoundTrips) {
     EXPECT_EQ(decoded->status.code(), StatusCode::kResourceExhausted);
     EXPECT_EQ(decoded->status.message(), "queue full");
   }
+  {
+    const std::string bytes = EncodeCancelRequest(CancelRequest{77});
+    auto kind = PeekMessageKind(bytes);
+    ASSERT_TRUE(kind.ok());
+    EXPECT_EQ(*kind, MessageKind::kCancelRequest);
+    auto decoded = DecodeCancelRequest(bytes);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->job_id, 77u);
+  }
+  for (CancelOutcome outcome :
+       {CancelOutcome::kCancelledWhileQueued, CancelOutcome::kSignalled,
+        CancelOutcome::kAlreadyFinished}) {
+    auto decoded = DecodeCancelReply(EncodeCancelReply(CancelReply{outcome}));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->outcome, outcome);
+  }
+}
+
+TEST(ServiceProtocolTest, CancelAndDeadlineStatusCodesCrossTheWire) {
+  // The two new StatusCode values are appended, never inserted — pin
+  // that they survive an ErrorReply round trip with their identity.
+  for (const Status& status :
+       {Status::Cancelled("cancelled by caller"),
+        Status::DeadlineExceeded("deadline exceeded")}) {
+    auto decoded = DecodeErrorReply(EncodeErrorReply(ErrorReply{status}));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->status.code(), status.code());
+    EXPECT_EQ(decoded->status.message(), status.message());
+  }
+}
+
+TEST(ServiceProtocolTest, BadCancelOutcomeIsCorruption) {
+  // The decoder must classify an out-of-range outcome value, never cast
+  // blindly into the enum. Rather than poke at encoder internals, fuzz
+  // every byte: no single byte change may decode to an outcome outside
+  // the enum.
+  const std::string bytes = EncodeCancelReply(CancelReply{});
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (int delta : {1, 128}) {
+      std::string mutated = bytes;
+      mutated[i] = static_cast<char>(
+          static_cast<unsigned char>(mutated[i]) + delta);
+      auto decoded = DecodeCancelReply(mutated);
+      if (!decoded.ok()) continue;  // classified rejection: fine
+      EXPECT_LE(static_cast<uint32_t>(decoded->outcome),
+                static_cast<uint32_t>(CancelOutcome::kAlreadyFinished));
+    }
+  }
+}
+
+TEST(ServiceProtocolTest, SpecDeadlineRoundTripsAndIsNotIdentity) {
+  JobSpec spec = FixtureSpec();
+  spec.deadline_ms = 1500;
+  auto decoded = DecodeJobSpec(EncodeJobSpec(spec));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->deadline_ms, 1500u);
+  // The deadline is execution metadata, not identity: the same logical
+  // job with a different (or no) deadline shares one version chain.
+  JobSpec no_deadline = spec;
+  no_deadline.deadline_ms = 0;
+  EXPECT_EQ(JobSpecHash(spec), JobSpecHash(no_deadline));
 }
 
 TEST(ServiceProtocolTest, WrongKindIsRejectedBeforeRecords) {

@@ -10,6 +10,9 @@
 //       report — byte-identical to the served one by contract
 //   cvcp_client fetch --socket S --job ID [--out FILE]
 //       re-fetch any prior version's stored report by job id
+//   cvcp_client cancel --socket S --job ID
+//       request cooperative cancellation; prints what the request found
+//       (cancelled-while-queued / signalled / already-finished)
 //   cvcp_client versions --socket S [spec flags]
 //       job ids of every stored version of the spec, chain order
 //   cvcp_client stats --socket S
@@ -19,7 +22,14 @@
 // --dataset-index N --clusterer NAME --scenario labels|constraints
 // --label-fraction F --pool-fraction F --constraint-fraction F
 // --supervision-seed N --grid "3,6,9" --folds N --stratified
-// --cvcp-seed N
+// --cvcp-seed N --deadline-ms N
+//
+// Robustness flags for submit: --retry N --backoff-ms B retry a
+// backpressure rejection (kResourceExhausted only — the one transient
+// failure) on a deterministic doubling schedule; a submission that still
+// fails on backpressure exits 3 (distinct from exit 1 transport/spec
+// errors) so scripts can tell "server busy" from "broken".
+// --deadline-ms also applies in direct mode, via a local deadline token.
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/strings.h"
 #include "service/client.h"
 #include "service/dataset_resolver.h"
@@ -38,7 +49,7 @@ using namespace cvcp;  // NOLINT
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s submit|direct|fetch|versions|stats|shutdown "
+               "usage: %s submit|direct|fetch|cancel|versions|stats|shutdown "
                "[--socket PATH] [spec flags]\n"
                "run with no arguments after the subcommand for details in "
                "the file header\n",
@@ -74,6 +85,7 @@ struct Options {
   std::string out;
   uint64_t job_id = 0;
   int threads = 0;
+  RetryPolicy retry;
   JobSpec spec;
   bool ok = true;
 };
@@ -134,6 +146,13 @@ Options ParseOptions(int argc, char** argv, int first) {
       options.spec.stratified = true;
     } else if (arg == "--cvcp-seed" && has_value && ParseU64(argv[++i], &u)) {
       options.spec.cvcp_seed = u;
+    } else if (arg == "--deadline-ms" && has_value &&
+               ParseU64(argv[++i], &u)) {
+      options.spec.deadline_ms = u;
+    } else if (arg == "--retry" && has_value && ParseU64(argv[++i], &u)) {
+      options.retry.max_retries = static_cast<int>(u);
+    } else if (arg == "--backoff-ms" && has_value && ParseU64(argv[++i], &u)) {
+      options.retry.backoff_ms = static_cast<int>(u);
     } else {
       options.ok = false;
     }
@@ -148,6 +167,20 @@ Options ParseOptions(int argc, char** argv, int first) {
 int Fail(const Status& status) {
   std::fprintf(stderr, "cvcp_client: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Backpressure exits 3 so scripts can distinguish "server busy, try
+/// later" from transport or spec failures (exit 1).
+int FailSubmit(const Status& status) {
+  if (status.code() == StatusCode::kResourceExhausted) {
+    std::fprintf(stderr,
+                 "cvcp_client: server busy (backpressure): %s\n"
+                 "cvcp_client: retries exhausted; try again later or raise "
+                 "--retry/--backoff-ms\n",
+                 status.ToString().c_str());
+    return 3;
+  }
+  return Fail(status);
 }
 
 int WriteOut(const std::string& path, const std::string& bytes) {
@@ -189,8 +222,14 @@ int FinishReport(const Options& options, const ReportReply& reply) {
 int RunSubmit(const Options& options) {
   Result<Client> client = Client::Connect(options.socket);
   if (!client.ok()) return Fail(client.status());
-  Result<SubmitReply> submitted = client->Submit(options.spec);
-  if (!submitted.ok()) return Fail(submitted.status());
+  const auto on_retry = [](int attempt, int64_t delay_ms) {
+    std::fprintf(stderr,
+                 "cvcp_client: server busy, retry %d in %lld ms\n", attempt,
+                 static_cast<long long>(delay_ms));
+  };
+  Result<SubmitReply> submitted =
+      client->SubmitWithRetry(options.spec, options.retry, on_retry);
+  if (!submitted.ok()) return FailSubmit(submitted.status());
   Result<ReportReply> reply = client->Wait(submitted->job_id);
   if (!reply.ok()) return Fail(reply.status());
   return FinishReport(options, reply.value());
@@ -202,6 +241,13 @@ int RunDirect(const Options& options) {
   if (!data.ok()) return Fail(data.status());
   JobContext context;
   context.exec.threads = options.threads;
+  // Honor --deadline-ms without a server: the same cell-boundary checks
+  // fire off a local deadline token.
+  CancelSource deadline;
+  if (options.spec.deadline_ms > 0) {
+    deadline.SetDeadlineAfterMs(options.spec.deadline_ms);
+    context.exec.cancel = deadline.token();
+  }
   Result<CvcpReport> report = RunJob(**data, options.spec, context);
   if (!report.ok()) return Fail(report.status());
   const std::string bytes = EncodeCvcpReport(report.value());
@@ -219,6 +265,27 @@ int RunFetch(const Options& options) {
   Result<ReportReply> reply = client->Fetch(options.job_id);
   if (!reply.ok()) return Fail(reply.status());
   return FinishReport(options, reply.value());
+}
+
+int RunCancel(const Options& options) {
+  Result<Client> client = Client::Connect(options.socket);
+  if (!client.ok()) return Fail(client.status());
+  Result<CancelReply> reply = client->Cancel(options.job_id);
+  if (!reply.ok()) return Fail(reply.status());
+  const char* outcome = "already-finished";
+  switch (reply->outcome) {
+    case CancelOutcome::kCancelledWhileQueued:
+      outcome = "cancelled-while-queued";
+      break;
+    case CancelOutcome::kSignalled:
+      outcome = "signalled";
+      break;
+    case CancelOutcome::kAlreadyFinished:
+      break;
+  }
+  std::printf("job %llu  %s\n",
+              static_cast<unsigned long long>(options.job_id), outcome);
+  return 0;
 }
 
 int RunVersions(const Options& options) {
@@ -249,7 +316,8 @@ int RunStats(const Options& options) {
       "distance_loads %llu\ndistance_hits %llu\nmodel_builds %llu\n"
       "model_loads %llu\nmodel_hits %llu\ndisk_hits %llu\n"
       "disk_misses %llu\nresults_recovered %llu\nresults_corrupt %llu\n"
-      "results_stored %llu\n",
+      "results_stored %llu\ncancelled %llu\ndeadline_exceeded %llu\n"
+      "temps_swept %llu\n",
       static_cast<unsigned long long>(s.queue_depth),
       static_cast<unsigned long long>(s.running),
       static_cast<unsigned long long>(s.accepted),
@@ -268,7 +336,10 @@ int RunStats(const Options& options) {
       static_cast<unsigned long long>(s.disk_misses),
       static_cast<unsigned long long>(s.results_recovered),
       static_cast<unsigned long long>(s.results_corrupt),
-      static_cast<unsigned long long>(s.results_stored));
+      static_cast<unsigned long long>(s.results_stored),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.temps_swept));
   return 0;
 }
 
@@ -296,6 +367,7 @@ int main(int argc, char** argv) {
   if (command == "submit") return RunSubmit(options);
   if (command == "direct") return RunDirect(options);
   if (command == "fetch") return RunFetch(options);
+  if (command == "cancel") return RunCancel(options);
   if (command == "versions") return RunVersions(options);
   if (command == "stats") return RunStats(options);
   if (command == "shutdown") return RunShutdown(options);

@@ -10,10 +10,15 @@
 //                             if a filename's storage mode disagrees with
 //                             the record type in its payload
 //   store_inspect purge DIR   delete every artifact and stale temp file
+//   store_inspect purge-tmp DIR
+//                             delete only orphaned `*.tmp.*` files left
+//                             by crashed writers, keeping every artifact
 //
 // `verify` is the offline counterpart of the store's read path: a file it
 // flags would be classified as a miss (and recomputed) by the next bench
-// run, never misread.
+// run, never misread. `purge-tmp` is only safe when no process is
+// actively writing to the store — an in-flight temp file looks exactly
+// like an orphan.
 
 #include <cstdio>
 #include <string>
@@ -26,10 +31,12 @@ using namespace cvcp;  // NOLINT
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s ls|verify|purge DIR\n"
-               "  ls      list every artifact with kind, bytes, validity\n"
-               "  verify  like ls, but exit 1 if any artifact is invalid\n"
-               "  purge   delete every artifact and stale temp file\n",
+               "usage: %s ls|verify|purge|purge-tmp DIR\n"
+               "  ls        list every artifact with kind, bytes, validity\n"
+               "  verify    like ls, but exit 1 if any artifact is invalid\n"
+               "  purge     delete every artifact and stale temp file\n"
+               "  purge-tmp delete only orphaned *.tmp.* files (no writer "
+               "may be live)\n",
                argv0);
   return 2;
 }
@@ -77,6 +84,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("purged %zu files from %s\n", purged.value(), argv[2]);
+    return 0;
+  }
+  if (command == "purge-tmp") {
+    auto swept = store.SweepOrphanTemps();
+    if (!swept.ok()) {
+      std::fprintf(stderr, "%s\n", swept.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("removed %llu orphaned temp files from %s\n",
+                static_cast<unsigned long long>(swept.value()), argv[2]);
     return 0;
   }
   return Usage(argv[0]);
