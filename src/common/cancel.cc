@@ -27,9 +27,23 @@ Status CancelToken::Check() const {
 }
 
 void CancelSource::SetDeadlineAfterMs(uint64_t ms) {
-  state_->deadline_ns.store(
-      internal::SteadyNowNs() + static_cast<int64_t>(ms) * 1000000,
-      std::memory_order_release);
+  // `ms` can be a client-controlled u64 straight off the wire
+  // (JobSpec::deadline_ms), so the arithmetic must saturate: a deadline
+  // too far out to represent as steady-clock nanoseconds can never fire,
+  // which is exactly what kNoDeadlineNs means. Without the clamp the
+  // multiply/add below would be signed-overflow UB and in practice wrap
+  // into the past, failing the job immediately.
+  const int64_t now = internal::SteadyNowNs();
+  const uint64_t headroom_ns =
+      static_cast<uint64_t>(internal::CancelState::kNoDeadlineNs) -
+      static_cast<uint64_t>(now > 0 ? now : 0);
+  if (ms >= headroom_ns / 1000000) {
+    state_->deadline_ns.store(internal::CancelState::kNoDeadlineNs,
+                              std::memory_order_release);
+    return;
+  }
+  state_->deadline_ns.store(now + static_cast<int64_t>(ms) * 1000000,
+                            std::memory_order_release);
 }
 
 bool CancelSource::DeadlineExpired() const {

@@ -166,7 +166,25 @@ Status WriteFileAtomic(const std::string& directory,
     return Status::Internal(
         Format("cannot publish %s: %s", filename.c_str(), reason.c_str()));
   }
-  return Status::OK();
+  // fsync the directory after the rename: the file's bytes are durable
+  // (fsync'd above), but the directory entry naming them is not until
+  // the directory itself is synced — a power loss here could otherwise
+  // silently unpublish the record. Complete-or-absent still holds either
+  // way; this makes publish itself durable. On failure the file is
+  // already visible and complete, so report the error (the caller must
+  // not count the publish durable) but leave the file in place —
+  // retrying the write is safe and idempotent.
+  const int dir_fd =
+      ::open(directory.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) {
+    return WriteErrnoStatus(errno, directory, "cannot open to sync");
+  }
+  Status sync_status = Status::OK();
+  if (::fsync(dir_fd) != 0) {
+    sync_status = WriteErrnoStatus(errno, directory, "cannot sync");
+  }
+  ::close(dir_fd);
+  return sync_status;
 }
 
 bool IsTempFileName(std::string_view filename) {

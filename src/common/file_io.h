@@ -77,11 +77,16 @@ class ScopedFileOpsHooks {
 Result<std::string> ReadFileToString(const std::string& path);
 
 /// Atomically publishes `bytes` as `directory/filename` (creating
-/// `directory` if needed) via a tmp file + rename. `temp_seq` must be
-/// unique among concurrent writers in this process (callers keep an
+/// `directory` if needed) via a tmp file + rename. The tmp file is
+/// fsync'd before the rename (no torn publish) and the directory is
+/// fsync'd after it (the new directory entry survives power loss), so an
+/// OK return means the record is visible *and* durable. `temp_seq` must
+/// be unique among concurrent writers in this process (callers keep an
 /// atomic counter); the pid disambiguates across processes. Failures are
 /// classified: kResourceExhausted when the filesystem is out of space,
-/// kInternal otherwise; the tmp file is removed on every failure path.
+/// kInternal otherwise; the tmp file is removed on every failure path
+/// (except a failed post-rename directory sync, where the complete file
+/// is already published and a retry is idempotent).
 Status WriteFileAtomic(const std::string& directory,
                        const std::string& filename, std::string_view bytes,
                        uint64_t temp_seq);

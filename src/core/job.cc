@@ -137,7 +137,10 @@ void AppendJobSpecRecords(const JobSpec& spec, BlockBuilder* builder) {
   builder->AppendU32(static_cast<uint32_t>(spec.n_folds));
   builder->AppendU32(spec.stratified ? 1 : 0);
   builder->AppendU64(spec.cvcp_seed);
-  builder->AppendU64(spec.deadline_ms);
+  // Optional trailing record, omitted when zero: a deadline-free spec
+  // encodes byte-identically to the pre-deadline format, so records (and
+  // spec hashes) persisted by earlier releases stay valid on upgrade.
+  if (spec.deadline_ms != 0) builder->AppendU64(spec.deadline_ms);
 }
 
 Result<JobSpec> ReadJobSpecRecords(BlockReader* reader) {
@@ -174,7 +177,13 @@ Result<JobSpec> ReadJobSpecRecords(BlockReader* reader) {
   CVCP_ASSIGN_OR_RETURN(uint32_t stratified, reader->ReadU32());
   spec.stratified = stratified != 0;
   CVCP_ASSIGN_OR_RETURN(spec.cvcp_seed, reader->ReadU64());
-  CVCP_ASSIGN_OR_RETURN(spec.deadline_ms, reader->ReadU64());
+  // The deadline record is optional (absent in pre-deadline records and
+  // in deadline-free encodings). Spec records are always the last in
+  // their block, so a present next record can only be the deadline.
+  spec.deadline_ms = 0;
+  if (reader->remaining() > 0) {
+    CVCP_ASSIGN_OR_RETURN(spec.deadline_ms, reader->ReadU64());
+  }
   return spec;
 }
 
@@ -199,6 +208,9 @@ uint64_t JobSpecHash(const JobSpec& spec) {
   // The deadline is execution metadata, not job identity: resubmitting
   // the same logical job with a different (or no) deadline must land in
   // the same version chain and re-hash-validate against stored records.
+  // The canonical encoding omits the zeroed deadline record entirely
+  // (see AppendJobSpecRecords), so it is bitwise the pre-deadline
+  // encoding and hashes of legacy records keep verifying.
   JobSpec canonical = spec;
   canonical.deadline_ms = 0;
   const std::string bytes = EncodeJobSpec(canonical);

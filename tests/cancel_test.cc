@@ -15,6 +15,8 @@
 //     completes, never the bytes of one that does.
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -62,6 +64,21 @@ TEST(CancelTokenTest, FarDeadlineDoesNotFire) {
   source.SetDeadlineAfterMs(1000 * 60 * 60);  // one hour
   EXPECT_FALSE(source.DeadlineExpired());
   EXPECT_TRUE(source.token().Check().ok());
+}
+
+TEST(CancelTokenTest, HugeDeadlineSaturatesToNoDeadline) {
+  // deadline_ms arrives as a client-controlled u64 off the wire; a value
+  // too large to represent as steady-clock nanoseconds must behave as
+  // "effectively no deadline", not overflow (UB) into an
+  // already-expired one. Under UBSan the unsaturated arithmetic traps.
+  for (uint64_t ms : {std::numeric_limits<uint64_t>::max(),
+                      std::numeric_limits<uint64_t>::max() / 1000000,
+                      uint64_t{1} << 53}) {
+    CancelSource source;
+    source.SetDeadlineAfterMs(ms);
+    EXPECT_FALSE(source.DeadlineExpired()) << "ms=" << ms;
+    EXPECT_TRUE(source.token().Check().ok()) << "ms=" << ms;
+  }
 }
 
 TEST(CancelTokenTest, CancelBeatsDeadline) {

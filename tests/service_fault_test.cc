@@ -279,6 +279,34 @@ TEST(ServiceFaultTest, StoredResultRoundTripsBitExact) {
   EXPECT_EQ(EncodeStoredResult(*decoded), bytes);
 }
 
+TEST(ServiceFaultTest, PreDeadlineRecordSurvivesRecovery) {
+  // Upgrade compatibility: a record persisted before JobSpec::deadline_ms
+  // existed embeds spec bytes with no trailing deadline record and a
+  // spec hash computed over those bytes. EncodeJobSpec of a
+  // deadline-free spec is pinned byte-identical to that legacy encoding
+  // (service_protocol_test PreDeadlineSpecBytesDecodeAndHashIdentically),
+  // so this record is an authentic pre-upgrade fixture; Recover must
+  // index it, never count it corrupt and drop it.
+  ServiceScratch scratch = MakeServiceScratch();
+  StoredResult record = FixtureRecord();
+  record.job_id = 1;
+  record.version = 1;
+  ASSERT_TRUE(WriteFileAtomic(
+                  scratch.results,
+                  Format("job-%016llx.cvcp",
+                         static_cast<unsigned long long>(record.job_id)),
+                  EncodeStoredResult(record), /*temp_seq=*/0)
+                  .ok());
+  ResultStore store(scratch.results);
+  ASSERT_TRUE(store.Recover().ok());
+  EXPECT_EQ(store.stats().recovered, 1u);
+  EXPECT_EQ(store.stats().corrupt, 0u);
+  auto fetched = store.Get(record.job_id);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->spec_bytes, record.spec_bytes);
+  EXPECT_EQ(fetched->report_bytes, record.report_bytes);
+}
+
 TEST(ServiceFaultTest, StoredResultRejectsEveryTruncation) {
   const std::string bytes = EncodeStoredResult(FixtureRecord());
   for (size_t len = 0; len < bytes.size(); ++len) {

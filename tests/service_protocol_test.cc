@@ -238,6 +238,41 @@ TEST(ServiceProtocolTest, SpecDeadlineRoundTripsAndIsNotIdentity) {
   EXPECT_EQ(JobSpecHash(spec), JobSpecHash(no_deadline));
 }
 
+TEST(ServiceProtocolTest, PreDeadlineSpecBytesDecodeAndHashIdentically) {
+  // A spec block written before deadline_ms existed has no trailing
+  // deadline record. It must still decode (deadline 0) and its stored
+  // hash must keep verifying, or ResultStore::Recover would classify
+  // every pre-upgrade record as corrupt and drop it on upgrade.
+  const JobSpec spec = FixtureSpec();
+  BlockBuilder legacy(kJobSpecBlockKind);  // the pre-deadline encoding
+  legacy.AppendString(spec.dataset);
+  legacy.AppendU64(spec.dataset_seed);
+  legacy.AppendU64(spec.dataset_index);
+  legacy.AppendString(spec.clusterer);
+  legacy.AppendU32(static_cast<uint32_t>(spec.scenario));
+  const double fractions[] = {spec.label_fraction, spec.pool_fraction,
+                              spec.constraint_fraction};
+  legacy.AppendDoubles(fractions);
+  legacy.AppendU64(spec.supervision_seed);
+  std::vector<size_t> grid(spec.param_grid.begin(), spec.param_grid.end());
+  legacy.AppendSizes(grid);
+  legacy.AppendU32(static_cast<uint32_t>(spec.n_folds));
+  legacy.AppendU32(spec.stratified ? 1 : 0);
+  legacy.AppendU64(spec.cvcp_seed);
+  const std::string legacy_bytes = legacy.Finish();
+
+  auto decoded = DecodeJobSpec(legacy_bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, spec);
+  EXPECT_EQ(decoded->deadline_ms, 0u);
+  // A deadline-free spec must re-encode to the legacy bytes exactly —
+  // that byte identity is what keeps legacy spec hashes verifying.
+  EXPECT_EQ(EncodeJobSpec(*decoded), legacy_bytes);
+  JobSpec with_deadline = spec;
+  with_deadline.deadline_ms = 2500;
+  EXPECT_EQ(JobSpecHash(with_deadline), JobSpecHash(*decoded));
+}
+
 TEST(ServiceProtocolTest, WrongKindIsRejectedBeforeRecords) {
   // A valid frame of the wrong kind must not decode as another message.
   const std::string bytes = EncodeWaitRequest(WaitRequest{1});
